@@ -1,0 +1,47 @@
+//! Criterion microbenches of the graph substrate: pNN construction
+//! (the `O(n_k² p K)` term of Sec. III-F) and Laplacian assembly.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mtrl_graph::{laplacian_dense, pnn_graph, LaplacianKind, WeightScheme};
+use mtrl_linalg::random::rand_uniform;
+use std::hint::black_box;
+
+fn bench_pnn(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pnn_graph_p5");
+    for &n in &[200usize, 500] {
+        let data = rand_uniform(n, 64, 0.0, 1.0, 11);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bencher, _| {
+            bencher.iter(|| pnn_graph(black_box(&data), 5, WeightScheme::Cosine));
+        });
+    }
+    group.finish();
+}
+
+fn bench_weight_schemes(c: &mut Criterion) {
+    let data = rand_uniform(300, 64, 0.0, 1.0, 12);
+    let mut group = c.benchmark_group("weighting_scheme_300");
+    for (name, scheme) in [
+        ("binary", WeightScheme::Binary),
+        ("heat", WeightScheme::HeatKernel { sigma: -1.0 }),
+        ("cosine", WeightScheme::Cosine),
+    ] {
+        group.bench_function(name, |bencher| {
+            bencher.iter(|| pnn_graph(black_box(&data), 5, scheme));
+        });
+    }
+    group.finish();
+}
+
+fn bench_laplacian(c: &mut Criterion) {
+    let data = rand_uniform(400, 32, 0.0, 1.0, 13);
+    let w = pnn_graph(&data, 5, WeightScheme::Cosine);
+    c.bench_function("laplacian_sym_normalized_400", |bencher| {
+        bencher.iter(|| laplacian_dense(black_box(&w), LaplacianKind::SymNormalized));
+    });
+    c.bench_function("laplacian_unnormalized_400", |bencher| {
+        bencher.iter(|| laplacian_dense(black_box(&w), LaplacianKind::Unnormalized));
+    });
+}
+
+criterion_group!(benches, bench_pnn, bench_weight_schemes, bench_laplacian);
+criterion_main!(benches);

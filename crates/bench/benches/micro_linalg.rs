@@ -1,0 +1,54 @@
+//! Criterion microbenches of the dense linear-algebra kernels that
+//! dominate Algorithm 2 (see `crates/linalg/src/ops.rs`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mtrl_linalg::ops::{g_s_gt, gram, matmul, matmul_nt, matmul_tn};
+use mtrl_linalg::random::rand_uniform;
+use mtrl_linalg::solve::ridge_inverse;
+use std::hint::black_box;
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matmul_nxn_times_nxc");
+    for &n in &[128usize, 384] {
+        let a = rand_uniform(n, n, -1.0, 1.0, 1);
+        let b = rand_uniform(n, 48, -1.0, 1.0, 2);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bencher, _| {
+            bencher.iter(|| matmul(black_box(&a), black_box(&b)).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_gsgt(c: &mut Criterion) {
+    let mut group = c.benchmark_group("g_s_gt_reconstruction");
+    for &n in &[256usize, 512] {
+        let g = rand_uniform(n, 48, 0.0, 1.0, 3);
+        let s = rand_uniform(48, 48, 0.0, 1.0, 4);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bencher, _| {
+            bencher.iter(|| g_s_gt(black_box(&g), black_box(&s)).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_gram_and_small_ops(c: &mut Criterion) {
+    let g = rand_uniform(512, 48, 0.0, 1.0, 5);
+    c.bench_function("gram_512x48", |bencher| {
+        bencher.iter(|| gram(black_box(&g)));
+    });
+    let a = rand_uniform(512, 48, -1.0, 1.0, 6);
+    let b = rand_uniform(512, 48, -1.0, 1.0, 7);
+    c.bench_function("matmul_tn_512x48", |bencher| {
+        bencher.iter(|| matmul_tn(black_box(&a), black_box(&b)).unwrap());
+    });
+    c.bench_function("matmul_nt_512x48", |bencher| {
+        bencher.iter(|| matmul_nt(black_box(&a), black_box(&b)).unwrap());
+    });
+    let gram48 = gram(&g);
+    c.bench_function("ridge_inverse_48", |bencher| {
+        bencher.iter(|| ridge_inverse(black_box(&gram48), 1e-10).unwrap());
+    });
+}
+
+criterion_group!(benches, bench_matmul, bench_gsgt, bench_gram_and_small_ops);
+criterion_main!(benches);

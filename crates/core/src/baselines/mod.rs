@@ -1,0 +1,19 @@
+//! The comparison suite of Sec. IV-B.
+//!
+//! * [`src_method`] — SRC (ref \[2\] as characterised by the paper):
+//!   collective NMTF on inter-type relationships only;
+//! * [`snmtf`] — SNMTF (refs \[5, 6\]): NMTF + a single pNN Laplacian;
+//! * [`rmc`] — RMC (ref \[15\]): NMTF + an optimised linear ensemble of six
+//!   pre-given pNN Laplacians;
+//! * [`drcc`] — DRCC (ref \[1\]): two-type graph-regularised co-clustering,
+//!   run as DR-T (terms), DR-C (concepts) and DR-TC (concatenated).
+
+pub mod drcc;
+pub mod rmc;
+pub mod snmtf;
+pub mod src_method;
+
+pub use drcc::{run_drcc, DrccConfig, DrccVariant};
+pub use rmc::{run_rmc, RmcConfig};
+pub use snmtf::{run_snmtf, SnmtfConfig};
+pub use src_method::{run_src, SrcConfig};

@@ -1,0 +1,635 @@
+//! The NMTF multiplicative-update engine — paper Algorithm 2.
+//!
+//! One engine drives RHCHME and the NMTF-based baselines; they differ only
+//! in configuration:
+//!
+//! | method  | graph regulariser            | `E_R` | row ℓ1 |
+//! |---------|------------------------------|-------|--------|
+//! | SRC     | [`GraphRegularizer::None`]   | off   | off    |
+//! | SNMTF   | [`GraphRegularizer::Fixed`] (pNN) | off | off |
+//! | RMC     | [`GraphRegularizer::Ensemble`] (6 pNN candidates) | off | off |
+//! | RHCHME  | [`GraphRegularizer::Fixed`] (heterogeneous, Eq. 12) | on | on |
+//!
+//! Per iteration (Algorithm 2 steps 3–7):
+//!
+//! 1. `S = (GᵀG)⁻¹ Gᵀ (R − E_R) G (GᵀG)⁻¹` (Eq. 18), ridge-stabilised;
+//! 2. multiplicative `G` update (Eq. 21) with positive/negative part
+//!    splits of `L`, `A = (R − E_R) G Sᵀ` and `B = Sᵀ GᵀG S`;
+//! 3. row-ℓ1 normalisation of `G` (Eq. 22) when enabled;
+//! 4. `E_R` update (Eq. 27): because `(βD + I)` is diagonal this is the
+//!    row-wise shrinkage `(E_R)_i = q_i / (1 + β / (2‖q_i‖₂ + ζ))` with
+//!    `q_i` the i-th row of `Q = R − G S Gᵀ`;
+//! 5. objective `J₄` (Eq. 15) evaluation and convergence check.
+//!
+//! The iteration allocates only small (`n x c`) temporaries; the two
+//! `n x n` buffers (`Q` and `R − E_R`) are reused across iterations.
+
+use crate::error::RhchmeError;
+use crate::multitype::MultiTypeData;
+use crate::Result;
+use mtrl_linalg::block::BlockDiag;
+use mtrl_linalg::norms::row_l2_norms;
+use mtrl_linalg::ops::{g_s_gt, gram, matmul, matmul_tn};
+use mtrl_linalg::simplex::project_simplex;
+use mtrl_linalg::solve::ridge_inverse;
+use mtrl_linalg::{Mat, EPS};
+
+/// Graph regulariser attached to the trace term `λ·tr(GᵀLG)`.
+#[derive(Debug, Clone)]
+pub enum GraphRegularizer {
+    /// No intra-type information (SRC).
+    None,
+    /// A fixed Laplacian — single pNN (SNMTF) or the heterogeneous
+    /// ensemble of Eq. 12 (RHCHME).
+    Fixed(BlockDiag),
+    /// RMC's pre-given candidate ensemble (Eq. 2): `L = Σ βᵢ L̂ᵢ` with `β`
+    /// re-optimised every iteration by minimising
+    /// `Σ βᵢ tr(GᵀL̂ᵢG) + μ‖β‖²` over the probability simplex.
+    Ensemble {
+        /// Candidate Laplacians `L̂ᵢ` (same block layout).
+        candidates: Vec<BlockDiag>,
+        /// Quadratic penalty μ keeping `β` away from the vertices.
+        mu: f64,
+    },
+}
+
+/// Engine configuration (one struct drives all four NMTF methods).
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Graph regularisation weight λ (Eq. 15).
+    pub lambda: f64,
+    /// Error-matrix trade-off β (Eq. 15); ignored when
+    /// `use_error_matrix` is false.
+    pub beta: f64,
+    /// Enable the sample-wise sparse error matrix `E_R`.
+    pub use_error_matrix: bool,
+    /// Enable row-ℓ1 normalisation of `G` (Eq. 22).
+    pub l1_row_normalize: bool,
+    /// Maximum multiplicative-update iterations.
+    pub max_iter: usize,
+    /// Relative objective-change convergence threshold.
+    pub tol: f64,
+    /// Record per-iteration argmax labels of this type (Fig. 3 traces).
+    pub record_labels_for_type: Option<usize>,
+    /// Ridge added to `GᵀG` before inversion (empty-cluster protection).
+    pub ridge: f64,
+    /// The ζ perturbation regularising `D_ii` when `‖q_i‖ = 0`
+    /// (Sec. III-D3).
+    pub zeta: f64,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            lambda: 0.05,
+            beta: 50.0,
+            use_error_matrix: true,
+            l1_row_normalize: true,
+            max_iter: 100,
+            tol: 1e-6,
+            record_labels_for_type: None,
+            ridge: 1e-10,
+            zeta: 1e-8,
+        }
+    }
+}
+
+/// Output of an engine run.
+#[derive(Debug, Clone)]
+pub struct EngineResult {
+    /// Final stacked membership matrix `G` (`n x c`).
+    pub g: Mat,
+    /// Final association matrix `S` (`c x c`).
+    pub s: Mat,
+    /// Objective `J₄` after every iteration.
+    pub objective_trace: Vec<f64>,
+    /// Recorded labels per iteration (empty unless requested).
+    pub label_trace: Vec<Vec<usize>>,
+    /// Iterations performed.
+    pub iterations: usize,
+    /// Whether the relative-change criterion was met.
+    pub converged: bool,
+    /// Final ensemble weights `β` (RMC only).
+    pub ensemble_weights: Option<Vec<f64>>,
+    /// Row l2 norms of the final `E_R` (empty when disabled) — corrupted
+    /// samples show up as the large entries.
+    pub error_row_norms: Vec<f64>,
+}
+
+/// Run the multiplicative-update engine.
+///
+/// * `r` — dense symmetric inter-type matrix from
+///   [`MultiTypeData::assemble_r`];
+/// * `data` — block layouts (and label extraction);
+/// * `reg` — graph regulariser (see [`GraphRegularizer`]);
+/// * `g0` — initial membership (from
+///   [`crate::kmeans::labels_to_membership`], block-structured).
+///
+/// # Errors
+/// * [`RhchmeError::InvalidData`] / [`RhchmeError::InvalidConfig`] on
+///   shape or parameter violations;
+/// * [`RhchmeError::Diverged`] if an iterate becomes non-finite.
+pub fn run_engine(
+    r: &Mat,
+    data: &MultiTypeData,
+    reg: &GraphRegularizer,
+    g0: Mat,
+    cfg: &EngineConfig,
+) -> Result<EngineResult> {
+    let n = data.total_objects();
+    let c = data.total_clusters();
+    if r.shape() != (n, n) {
+        return Err(RhchmeError::InvalidData(format!(
+            "R is {:?}, expected ({n}, {n})",
+            r.shape()
+        )));
+    }
+    if g0.shape() != (n, c) {
+        return Err(RhchmeError::InvalidData(format!(
+            "G0 is {:?}, expected ({n}, {c})",
+            g0.shape()
+        )));
+    }
+    if cfg.lambda < 0.0 || cfg.beta < 0.0 {
+        return Err(RhchmeError::InvalidConfig(
+            "lambda and beta must be nonnegative".into(),
+        ));
+    }
+    if g0.min() < 0.0 {
+        return Err(RhchmeError::InvalidData("G0 has negative entries".into()));
+    }
+    match reg {
+        GraphRegularizer::Fixed(l) if l.n() != n => {
+            return Err(RhchmeError::InvalidData(format!(
+                "Laplacian is {}x{0}, expected {n}x{n}",
+                l.n()
+            )));
+        }
+        GraphRegularizer::Ensemble { candidates, mu } => {
+            if candidates.is_empty() {
+                return Err(RhchmeError::InvalidConfig(
+                    "ensemble regulariser with no candidates".into(),
+                ));
+            }
+            if *mu <= 0.0 {
+                return Err(RhchmeError::InvalidConfig("mu must be positive".into()));
+            }
+            if candidates.iter().any(|l| l.n() != n) {
+                return Err(RhchmeError::InvalidData(
+                    "ensemble candidate with wrong dimension".into(),
+                ));
+            }
+        }
+        _ => {}
+    }
+
+    let mut g = g0;
+    let mut s = Mat::zeros(c, c);
+    // Fixed regulariser: split parts once.
+    let fixed_parts = match reg {
+        GraphRegularizer::Fixed(l) => Some((l.clone(), l.split_parts())),
+        _ => None,
+    };
+    let mut ensemble_weights: Option<Vec<f64>> = None;
+
+    // Workhorse n x n buffers.
+    let mut r_eff = r.clone(); // R − E_R (E_R starts at zero)
+    let mut q; // R − G S Gᵀ
+    let mut error_row_norms: Vec<f64> = Vec::new();
+    let mut er_factors: Vec<f64> = vec![0.0; n];
+
+    let mut objective_trace = Vec::with_capacity(cfg.max_iter);
+    let mut label_trace = Vec::new();
+    let mut prev_obj = f64::INFINITY;
+    let mut converged = false;
+    let mut iterations = 0;
+    // Per-iteration storage for the (recomputed) ensemble Laplacian so the
+    // fixed case can hand out references without cloning. The compiler
+    // cannot see that each iteration's value is consumed within that same
+    // iteration, hence the allow.
+    #[allow(unused_assignments)]
+    let mut ens_storage: Option<(BlockDiag, BlockDiag, BlockDiag)> = None;
+
+    for t in 0..cfg.max_iter {
+        iterations = t + 1;
+
+        // ---- Regulariser for this iteration -------------------------
+        let (l_current, l_plus, l_minus): (
+            Option<&BlockDiag>,
+            Option<&BlockDiag>,
+            Option<&BlockDiag>,
+        ) = match (&fixed_parts, reg) {
+            (Some((l, (lp, lm))), _) => (Some(l), Some(lp), Some(lm)),
+            (None, GraphRegularizer::Ensemble { candidates, mu }) => {
+                let traces: Vec<f64> = candidates
+                    .iter()
+                    .map(|cand| cand.trace_quad(&g))
+                    .collect::<std::result::Result<_, _>>()?;
+                let target: Vec<f64> = traces.iter().map(|&t| -t / (2.0 * mu)).collect();
+                let beta_w = project_simplex(&target, 1.0);
+                // L = Σ β L̂ over the shared block layout.
+                let mut acc = candidates[0].map(|_| 0.0);
+                for (cand, &b) in candidates.iter().zip(&beta_w) {
+                    acc = acc.lin_comb(1.0, cand, b).expect("same layout");
+                }
+                ensemble_weights = Some(beta_w);
+                let (lp, lm) = acc.split_parts();
+                ens_storage = Some((acc, lp, lm));
+                let (l, lp, lm) = ens_storage.as_ref().expect("just stored");
+                (Some(l), Some(lp), Some(lm))
+            }
+            (None, _) => (None, None, None),
+        };
+
+        // ---- Step 3: S update (Eq. 18) ------------------------------
+        let m1 = matmul(&r_eff, &g)?; // (R − E_R)·G, n x c
+        let gram_g = gram(&g); // c x c
+        let ginv = ridge_inverse(&gram_g, cfg.ridge)?;
+        let gtm = matmul_tn(&g, &m1)?; // Gᵀ(R − E_R)G, c x c
+        s = matmul(&matmul(&ginv, &gtm)?, &ginv)?;
+
+        // ---- Step 4: multiplicative G update (Eq. 21) ---------------
+        let a = matmul(&m1, &s.transpose())?; // (R − E_R) G Sᵀ, n x c
+        let b = matmul_tn(&s, &matmul(&gram_g, &s)?)?; // Sᵀ GᵀG S, c x c
+        let (b_pos, b_neg) = mtrl_linalg::parts::split_parts(&b);
+        let gb_pos = matmul(&g, &b_pos)?;
+        let gb_neg = matmul(&g, &b_neg)?;
+        let (lp_g, lm_g) = match (&l_plus, &l_minus) {
+            (Some(lp), Some(lm)) => (Some(lp.mul_dense(&g)?), Some(lm.mul_dense(&g)?)),
+            _ => (None, None),
+        };
+        for i in 0..n {
+            let a_row = a.row(i);
+            let gbp = gb_pos.row(i);
+            let gbn = gb_neg.row(i);
+            let lpg = lp_g.as_ref().map(|m| m.row(i));
+            let lmg = lm_g.as_ref().map(|m| m.row(i));
+            let grow = g.row_mut(i);
+            for j in 0..c {
+                let gv = grow[j];
+                if gv == 0.0 {
+                    continue; // structural zero (block layout) stays zero
+                }
+                let a_pos = a_row[j].max(0.0);
+                let a_neg = (-a_row[j]).max(0.0);
+                let (l_num, l_den) = match (lmg, lpg) {
+                    (Some(lm), Some(lp)) => (cfg.lambda * lm[j], cfg.lambda * lp[j]),
+                    _ => (0.0, 0.0),
+                };
+                let num = l_num + a_pos + gbn[j];
+                let den = l_den + a_neg + gbp[j];
+                grow[j] = gv * ((num + EPS) / (den + EPS)).sqrt();
+            }
+        }
+        if g.has_non_finite() {
+            return Err(RhchmeError::Diverged { iteration: t });
+        }
+
+        // ---- Step 5: row-l1 normalisation (Eq. 22) ------------------
+        if cfg.l1_row_normalize {
+            g.normalize_rows_l1(1e-300);
+        }
+
+        // ---- Steps 6-7: E_R update (Eqs. 25-27) ----------------------
+        q = r.sub(&g_s_gt(&g, &s)?)?;
+        let q_norms = row_l2_norms(&q);
+        let mut fit = 0.0;
+        let mut l21 = 0.0;
+        if cfg.use_error_matrix {
+            for (i, f) in er_factors.iter_mut().enumerate() {
+                // (βD + I)⁻¹ row factor: f = 1 / (1 + β / (2‖q_i‖ + ζ)).
+                *f = 1.0 / (1.0 + cfg.beta / (2.0 * q_norms[i] + cfg.zeta));
+            }
+            // R − E_R for the next iteration, and objective pieces:
+            // ‖Q − E_R‖² = Σ (1−f)²‖q‖², ‖E_R‖₂,₁ = Σ f‖q‖.
+            for i in 0..n {
+                let f = er_factors[i];
+                let q_row = q.row(i);
+                let r_row = r.row(i);
+                let dst = r_eff.row_mut(i);
+                for ((d, &rv), &qv) in dst.iter_mut().zip(r_row).zip(q_row) {
+                    *d = rv - f * qv;
+                }
+                let residual = (1.0 - f) * q_norms[i];
+                fit += residual * residual;
+                l21 += f * q_norms[i];
+            }
+            error_row_norms = er_factors
+                .iter()
+                .zip(&q_norms)
+                .map(|(f, qn)| f * qn)
+                .collect();
+        } else {
+            fit = q_norms.iter().map(|x| x * x).sum();
+        }
+
+        // ---- Objective J₄ (Eq. 15) ----------------------------------
+        let reg_term = match &l_current {
+            Some(l) => l.trace_quad(&g)?,
+            None => 0.0,
+        };
+        let l21_term = if cfg.use_error_matrix { cfg.beta * l21 } else { 0.0 };
+        let obj = fit + l21_term + cfg.lambda * reg_term;
+        objective_trace.push(obj);
+
+        if let Some(ty) = cfg.record_labels_for_type {
+            label_trace.push(data.labels_from_membership(&g, ty));
+        }
+
+        // ---- Convergence ---------------------------------------------
+        if t > 0 {
+            let denom = prev_obj.abs().max(1.0);
+            if (prev_obj - obj).abs() / denom < cfg.tol {
+                converged = true;
+                break;
+            }
+        }
+        prev_obj = obj;
+    }
+
+    Ok(EngineResult {
+        g,
+        s,
+        objective_trace,
+        label_trace,
+        iterations,
+        converged,
+        ensemble_weights,
+        error_row_norms,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kmeans::{kmeans, labels_to_membership};
+    use mtrl_datagen::corpus::{generate, CorpusConfig};
+    use mtrl_graph::{laplacian_dense, pnn_graph, LaplacianKind, WeightScheme};
+    use mtrl_linalg::block::stack_membership;
+
+    fn tiny_data() -> (MultiTypeData, mtrl_datagen::MultiTypeCorpus) {
+        let corpus = generate(&CorpusConfig {
+            docs_per_class: vec![8, 8],
+            vocab_size: 48,
+            concept_count: 12,
+            doc_len_range: (25, 40),
+            background_frac: 0.25,
+            topic_noise: 0.2,
+            concept_map_noise: 0.1,
+            corrupt_frac: 0.0,
+            subtopics_per_class: 1,
+            view_confusion: 0.0,
+            seed: 11,
+        });
+        let data = MultiTypeData::from_corpus(&corpus, 10).unwrap();
+        (data, corpus)
+    }
+
+    fn init_g(data: &MultiTypeData, seed: u64) -> Mat {
+        let feats = data.all_features();
+        let blocks: Vec<Mat> = feats
+            .iter()
+            .zip(data.cluster_counts())
+            .enumerate()
+            .map(|(k, (f, &ck))| {
+                let km = kmeans(f, ck, seed + k as u64, 50);
+                labels_to_membership(&km.labels, ck, 0.2)
+            })
+            .collect();
+        stack_membership(&blocks)
+    }
+
+    fn pnn_block_laplacian(data: &MultiTypeData) -> BlockDiag {
+        let blocks: Vec<Mat> = data
+            .all_features()
+            .iter()
+            .map(|f| {
+                let w = pnn_graph(f, 5, WeightScheme::Cosine);
+                laplacian_dense(&w, LaplacianKind::SymNormalized)
+            })
+            .collect();
+        BlockDiag::new(blocks).unwrap()
+    }
+
+    #[test]
+    fn src_configuration_runs_and_descends() {
+        let (data, _) = tiny_data();
+        let r = data.assemble_r();
+        let g0 = init_g(&data, 1);
+        let cfg = EngineConfig {
+            lambda: 0.0,
+            use_error_matrix: false,
+            l1_row_normalize: false,
+            max_iter: 30,
+            record_labels_for_type: None,
+            ..EngineConfig::default()
+        };
+        let res = run_engine(&r, &data, &GraphRegularizer::None, g0, &cfg).unwrap();
+        let t = &res.objective_trace;
+        assert!(t.len() >= 2);
+        // Monotone decrease (Theorem 1) within numerical slack.
+        for w in t.windows(2) {
+            assert!(
+                w[1] <= w[0] * (1.0 + 1e-6) + 1e-9,
+                "objective rose: {} -> {}",
+                w[0],
+                w[1]
+            );
+        }
+        assert!(res.g.min() >= 0.0);
+        assert!(res.error_row_norms.is_empty());
+    }
+
+    #[test]
+    fn rhchme_configuration_descends_and_normalises() {
+        let (data, _) = tiny_data();
+        let r = data.assemble_r();
+        let g0 = init_g(&data, 2);
+        let lap = pnn_block_laplacian(&data);
+        let cfg = EngineConfig {
+            lambda: 1.0,
+            beta: 10.0,
+            max_iter: 40,
+            ..EngineConfig::default()
+        };
+        let res = run_engine(&r, &data, &GraphRegularizer::Fixed(lap), g0, &cfg).unwrap();
+        let t = &res.objective_trace;
+        for w in t.windows(2) {
+            assert!(
+                w[1] <= w[0] * (1.0 + 1e-5) + 1e-9,
+                "objective rose: {} -> {}",
+                w[0],
+                w[1]
+            );
+        }
+        // Rows of G sum to 1 (Eq. 22).
+        for i in 0..res.g.rows() {
+            let s: f64 = res.g.row(i).iter().sum();
+            assert!((s - 1.0).abs() < 1e-9, "row {i} sums to {s}");
+        }
+        assert_eq!(res.error_row_norms.len(), data.total_objects());
+    }
+
+    #[test]
+    fn block_structure_preserved() {
+        let (data, _) = tiny_data();
+        let r = data.assemble_r();
+        let g0 = init_g(&data, 3);
+        let cfg = EngineConfig {
+            lambda: 0.0,
+            use_error_matrix: false,
+            max_iter: 10,
+            ..EngineConfig::default()
+        };
+        let res = run_engine(&r, &data, &GraphRegularizer::None, g0, &cfg).unwrap();
+        // Entries outside a type's cluster columns must remain exactly 0.
+        for k in 0..data.num_types() {
+            let rows = data.spec().range(k);
+            let cols = data.cluster_spec().range(k);
+            for i in rows {
+                for j in 0..data.total_clusters() {
+                    if !cols.contains(&j) {
+                        assert_eq!(res.g[(i, j)], 0.0, "leak at ({i},{j})");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn clusters_two_class_corpus_well() {
+        let (data, corpus) = tiny_data();
+        let r = data.assemble_r();
+        let g0 = init_g(&data, 4);
+        let lap = pnn_block_laplacian(&data);
+        let cfg = EngineConfig {
+            lambda: 0.5,
+            beta: 20.0,
+            max_iter: 60,
+            ..EngineConfig::default()
+        };
+        let res = run_engine(&r, &data, &GraphRegularizer::Fixed(lap), g0, &cfg).unwrap();
+        let labels = data.labels_from_membership(&res.g, 0);
+        let f = mtrl_metrics::fscore(&corpus.labels, &labels);
+        assert!(f > 0.8, "fscore {f}");
+    }
+
+    #[test]
+    fn ensemble_regulariser_produces_simplex_weights() {
+        let (data, _) = tiny_data();
+        let r = data.assemble_r();
+        let g0 = init_g(&data, 5);
+        let feats = data.all_features();
+        let mut candidates = Vec::new();
+        for p in [3usize, 5] {
+            for scheme in [WeightScheme::Binary, WeightScheme::Cosine] {
+                let blocks: Vec<Mat> = feats
+                    .iter()
+                    .map(|f| {
+                        laplacian_dense(&pnn_graph(f, p, scheme), LaplacianKind::SymNormalized)
+                    })
+                    .collect();
+                candidates.push(BlockDiag::new(blocks).unwrap());
+            }
+        }
+        let cfg = EngineConfig {
+            lambda: 0.5,
+            use_error_matrix: false,
+            l1_row_normalize: false,
+            max_iter: 15,
+            ..EngineConfig::default()
+        };
+        let reg = GraphRegularizer::Ensemble {
+            candidates,
+            mu: 1.0,
+        };
+        let res = run_engine(&r, &data, &reg, g0, &cfg).unwrap();
+        let w = res.ensemble_weights.expect("ensemble weights");
+        assert_eq!(w.len(), 4);
+        assert!((w.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert!(w.iter().all(|&b| b >= 0.0));
+    }
+
+    #[test]
+    fn error_matrix_targets_corrupted_rows() {
+        // Corrupt some documents; their E_R row norms should dominate.
+        let corpus = generate(&CorpusConfig {
+            docs_per_class: vec![10, 10],
+            vocab_size: 60,
+            concept_count: 15,
+            doc_len_range: (30, 40),
+            background_frac: 0.25,
+            topic_noise: 0.15,
+            concept_map_noise: 0.1,
+            corrupt_frac: 0.15,
+            subtopics_per_class: 1,
+            view_confusion: 0.0,
+            seed: 21,
+        });
+        let data = MultiTypeData::from_corpus(&corpus, 10).unwrap();
+        let r = data.assemble_r();
+        let g0 = init_g(&data, 6);
+        let cfg = EngineConfig {
+            lambda: 0.0,
+            beta: 2.0,
+            max_iter: 40,
+            ..EngineConfig::default()
+        };
+        let res = run_engine(&r, &data, &GraphRegularizer::None, g0, &cfg).unwrap();
+        assert!(!corpus.corrupted_docs.is_empty());
+        let norms = &res.error_row_norms;
+        let doc_range = data.spec().range(0);
+        let corrupt_mean = mtrl_linalg::vecops::mean(
+            &corpus
+                .corrupted_docs
+                .iter()
+                .map(|&d| norms[d])
+                .collect::<Vec<_>>(),
+        );
+        let clean_mean = mtrl_linalg::vecops::mean(
+            &doc_range
+                .filter(|d| !corpus.corrupted_docs.contains(d))
+                .map(|d| norms[d])
+                .collect::<Vec<_>>(),
+        );
+        assert!(
+            corrupt_mean > clean_mean,
+            "corrupted rows not captured: {corrupt_mean} vs {clean_mean}"
+        );
+    }
+
+    #[test]
+    fn label_trace_recorded() {
+        let (data, _) = tiny_data();
+        let r = data.assemble_r();
+        let g0 = init_g(&data, 7);
+        let cfg = EngineConfig {
+            lambda: 0.0,
+            use_error_matrix: false,
+            max_iter: 8,
+            tol: 0.0, // run all iterations
+            record_labels_for_type: Some(0),
+            ..EngineConfig::default()
+        };
+        let res = run_engine(&r, &data, &GraphRegularizer::None, g0, &cfg).unwrap();
+        assert_eq!(res.label_trace.len(), res.iterations);
+        assert_eq!(res.label_trace[0].len(), data.sizes()[0]);
+    }
+
+    #[test]
+    fn rejects_bad_shapes_and_params() {
+        let (data, _) = tiny_data();
+        let r = data.assemble_r();
+        let g_bad = Mat::zeros(3, 3);
+        let cfg = EngineConfig::default();
+        assert!(run_engine(&r, &data, &GraphRegularizer::None, g_bad, &cfg).is_err());
+        let g0 = init_g(&data, 8);
+        let bad_cfg = EngineConfig {
+            lambda: -1.0,
+            ..EngineConfig::default()
+        };
+        assert!(run_engine(&r, &data, &GraphRegularizer::None, g0.clone(), &bad_cfg).is_err());
+        let wrong_r = Mat::zeros(3, 3);
+        assert!(run_engine(&wrong_r, &data, &GraphRegularizer::None, g0, &cfg).is_err());
+    }
+}

@@ -1,0 +1,69 @@
+//! Error type for the clustering crate.
+
+use std::fmt;
+
+/// Errors surfaced by the clustering algorithms.
+#[derive(Debug)]
+pub enum RhchmeError {
+    /// A linear-algebra primitive failed (shape mismatch, singularity…).
+    Linalg(mtrl_linalg::LinalgError),
+    /// The input data is unusable for the requested operation.
+    InvalidData(String),
+    /// A configuration value is out of its legal range.
+    InvalidConfig(String),
+    /// An iterate became non-finite (diverged); carries the iteration.
+    Diverged {
+        /// Iteration at which non-finite values appeared.
+        iteration: usize,
+    },
+}
+
+impl fmt::Display for RhchmeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RhchmeError::Linalg(e) => write!(f, "linear algebra error: {e}"),
+            RhchmeError::InvalidData(msg) => write!(f, "invalid data: {msg}"),
+            RhchmeError::InvalidConfig(msg) => write!(f, "invalid config: {msg}"),
+            RhchmeError::Diverged { iteration } => {
+                write!(f, "optimisation diverged at iteration {iteration}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RhchmeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RhchmeError::Linalg(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<mtrl_linalg::LinalgError> for RhchmeError {
+    fn from(e: mtrl_linalg::LinalgError) -> Self {
+        RhchmeError::Linalg(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        let e = RhchmeError::InvalidConfig("lambda < 0".into());
+        assert!(e.to_string().contains("lambda"));
+        let e = RhchmeError::Diverged { iteration: 7 };
+        assert!(e.to_string().contains('7'));
+    }
+
+    #[test]
+    fn from_linalg() {
+        let le = mtrl_linalg::LinalgError::InvalidArgument("x".into());
+        let e: RhchmeError = le.into();
+        assert!(matches!(e, RhchmeError::Linalg(_)));
+        use std::error::Error;
+        assert!(e.source().is_some());
+    }
+}

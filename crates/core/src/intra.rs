@@ -1,0 +1,190 @@
+//! Intra-type relationship learning — stages 1 & 2 of RHCHME.
+//!
+//! For every object type this module derives the two kinds of intra-type
+//! relationships the paper combines (Sec. III-A/B):
+//!
+//! * `W_E` / `L_E` — the pNN graph with cosine weighting (Eq. 3; the paper
+//!   fixes cosine and `p = 5` for SNMTF and RHCHME);
+//! * `W_S` / `L_S` — the subspace-learned affinity from the SPG solver
+//!   (Eq. 9, Algorithm 1);
+//!
+//! and assembles the heterogeneous manifold ensemble `L = α·L_S + L_E`
+//! (Eq. 12) as a block-diagonal operator over all types.
+//!
+//! The pieces are exposed separately so the parameter-sweep benches
+//! (Fig. 2) can cache what does not change: the γ sweep recomputes only
+//! `L_S`, the α sweep only the combination, and the λ/β sweeps nothing at
+//! all.
+
+use crate::Result;
+use mtrl_graph::{hetero_ensemble, laplacian_dense, pnn_graph, LaplacianKind, WeightScheme};
+use mtrl_linalg::block::BlockDiag;
+use mtrl_linalg::Mat;
+use mtrl_subspace::{affinity_to_weights, spg_affinity, SpgConfig};
+
+/// Relative pruning threshold applied to subspace affinities before graph
+/// construction: entries below `PRUNE_REL * max(W)` are dropped, removing
+/// optimisation noise while keeping genuine within-subspace links.
+const PRUNE_REL: f64 = 1e-4;
+
+/// Per-row truncation of the symmetrised subspace affinity: keep the
+/// strongest `TOP_K` links per object. The SPG solution carries a weak
+/// dense tail from optimisation noise; its top entries are far purer
+/// (within-subspace) than its mass average, so truncation sharpens `L_S`
+/// without losing the distant within-manifold links the method exists to
+/// find. `TOP_K = 10 = 2p` keeps `L_S` on the same sparsity scale as the
+/// pNN member of the ensemble.
+const TOP_K: usize = 10;
+
+/// Per-type pNN Laplacians assembled into a block-diagonal operator.
+///
+/// `features[k]` holds the objects of type `k` as rows.
+pub fn pnn_laplacians(
+    features: &[Mat],
+    p: usize,
+    scheme: WeightScheme,
+    kind: LaplacianKind,
+) -> Result<BlockDiag> {
+    let blocks: Vec<Mat> = features
+        .iter()
+        .map(|f| laplacian_dense(&pnn_graph(f, p, scheme), kind))
+        .collect();
+    Ok(BlockDiag::new(blocks)?)
+}
+
+/// Per-type subspace-learned Laplacians (`L_S`) via SPG, as a block
+/// diagonal. `base_cfg.seed` is offset per type so types do not share RNG
+/// streams.
+pub fn subspace_laplacians(
+    features: &[Mat],
+    base_cfg: &SpgConfig,
+    kind: LaplacianKind,
+) -> Result<BlockDiag> {
+    let mut blocks = Vec::with_capacity(features.len());
+    for (k, f) in features.iter().enumerate() {
+        let cfg = SpgConfig {
+            seed: base_cfg.seed.wrapping_add(k as u64),
+            ..base_cfg.clone()
+        };
+        let res = spg_affinity(f, &cfg)?;
+        let truncated = truncate_rows_top_k(&res.w, TOP_K);
+        let max_w = truncated.max().max(0.0);
+        let w = affinity_to_weights(&truncated, PRUNE_REL * max_w);
+        blocks.push(laplacian_dense(&w, kind));
+    }
+    Ok(BlockDiag::new(blocks)?)
+}
+
+/// Keep only the `k` largest entries in each row of a nonnegative
+/// affinity matrix, zeroing the rest.
+fn truncate_rows_top_k(w: &Mat, k: usize) -> Mat {
+    let n = w.rows();
+    if k >= n {
+        return w.clone();
+    }
+    let mut out = Mat::zeros(n, w.cols());
+    let mut order: Vec<usize> = Vec::with_capacity(w.cols());
+    for i in 0..n {
+        let row = w.row(i);
+        order.clear();
+        order.extend(0..w.cols());
+        order.sort_by(|&a, &b| row[b].partial_cmp(&row[a]).expect("NaN affinity"));
+        let dst = out.row_mut(i);
+        for &j in order.iter().take(k) {
+            dst[j] = row[j];
+        }
+    }
+    out
+}
+
+/// Combine the two Laplacian families into the heterogeneous manifold
+/// ensemble `L = α·L_S + L_E` (Eq. 12), block by block.
+pub fn hetero_laplacian(l_s: &BlockDiag, l_e: &BlockDiag, alpha: f64) -> Result<BlockDiag> {
+    let blocks: Vec<Mat> = (0..l_s.num_blocks())
+        .map(|k| hetero_ensemble(l_s.block(k), l_e.block(k), alpha))
+        .collect::<std::result::Result<_, _>>()?;
+    Ok(BlockDiag::new(blocks)?)
+}
+
+/// The six RMC candidate Laplacians of Sec. IV-B: `p ∈ {5, 10}` crossed
+/// with binary / heat-kernel (self-tuned σ) / cosine weighting, each as a
+/// block diagonal over all types.
+pub fn rmc_candidates(features: &[Mat], kind: LaplacianKind) -> Result<Vec<BlockDiag>> {
+    let mut out = Vec::with_capacity(6);
+    for p in [5usize, 10] {
+        for scheme in [
+            WeightScheme::Binary,
+            WeightScheme::HeatKernel { sigma: -1.0 },
+            WeightScheme::Cosine,
+        ] {
+            out.push(pnn_laplacians(features, p, scheme, kind)?);
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mtrl_linalg::random::rand_uniform;
+
+    fn toy_features() -> Vec<Mat> {
+        vec![
+            rand_uniform(15, 6, 0.0, 1.0, 90),
+            rand_uniform(12, 5, 0.0, 1.0, 91),
+        ]
+    }
+
+    #[test]
+    fn pnn_block_layout() {
+        let f = toy_features();
+        let l = pnn_laplacians(&f, 3, WeightScheme::Cosine, LaplacianKind::SymNormalized)
+            .unwrap();
+        assert_eq!(l.num_blocks(), 2);
+        assert_eq!(l.n(), 27);
+        // Normalised Laplacian diagonals are <= 1.
+        for k in 0..2 {
+            for (i, &d) in l.block(k).diag().iter().enumerate() {
+                assert!((0.0..=1.0 + 1e-12).contains(&d), "block {k} diag {i}: {d}");
+            }
+        }
+    }
+
+    #[test]
+    fn subspace_block_layout_and_psd_diag() {
+        let f = toy_features();
+        let cfg = SpgConfig {
+            max_iter: 40,
+            ..SpgConfig::default()
+        };
+        let l = subspace_laplacians(&f, &cfg, LaplacianKind::SymNormalized).unwrap();
+        assert_eq!(l.n(), 27);
+        // Symmetric blocks.
+        for k in 0..2 {
+            let b = l.block(k);
+            assert!(b.approx_eq(&b.transpose(), 1e-9), "block {k} not symmetric");
+        }
+    }
+
+    #[test]
+    fn hetero_combination_matches_blocks() {
+        let f = toy_features();
+        let le = pnn_laplacians(&f, 3, WeightScheme::Cosine, LaplacianKind::SymNormalized)
+            .unwrap();
+        let ls = pnn_laplacians(&f, 4, WeightScheme::Binary, LaplacianKind::SymNormalized)
+            .unwrap();
+        let combo = hetero_laplacian(&ls, &le, 2.0).unwrap();
+        for k in 0..2 {
+            let expect = le.block(k).add(&ls.block(k).scaled(2.0)).unwrap();
+            assert!(combo.block(k).approx_eq(&expect, 1e-12));
+        }
+    }
+
+    #[test]
+    fn rmc_candidate_count_and_layout() {
+        let f = toy_features();
+        let cands = rmc_candidates(&f, LaplacianKind::SymNormalized).unwrap();
+        assert_eq!(cands.len(), 6);
+        assert!(cands.iter().all(|c| c.n() == 27));
+    }
+}

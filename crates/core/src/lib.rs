@@ -1,0 +1,52 @@
+//! # rhchme
+//!
+//! Reproduction of **RHCHME** — *Robust High-order Co-clustering via
+//! Heterogeneous Manifold Ensemble* (Hou & Nayak, ICDE 2015) — plus every
+//! method it is compared against.
+//!
+//! ## What this crate provides
+//!
+//! * [`multitype`] — assembly of the symmetric inter-type relationship
+//!   matrix `R`, block membership `G` layout and per-type feature views
+//!   (Sec. I-A of the paper);
+//! * [`kmeans`] — k-means++ used to initialise `G` (Algorithm 2's input);
+//! * [`intra`] — stage 1 & 2: per-type pNN graphs, SPG subspace affinities
+//!   and the heterogeneous Laplacian ensemble `L = α·L_S + L_E` (Eq. 12);
+//! * [`engine`] — the multiplicative-update optimiser of Eq. (15)
+//!   (Algorithm 2): closed-form `S`, multiplicative `G` with row-ℓ1
+//!   normalisation, IRLS `E_R` with the L2,1 penalty;
+//! * [`rhchme`] — the end-to-end RHCHME estimator;
+//! * [`baselines`] — SRC, SNMTF, RMC and DRCC (DR-T/DR-C/DR-TC), the
+//!   comparison suite of Sec. IV-B;
+//! * [`pipeline`] — one-call runners with artifact caching, used by the
+//!   table/figure benches.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use mtrl_datagen::datasets::{load, DatasetId, Scale};
+//! use rhchme::rhchme::{Rhchme, RhchmeConfig};
+//!
+//! let corpus = load(DatasetId::D1, Scale::Tiny);
+//! let model = Rhchme::new(RhchmeConfig::fast());
+//! let result = model.fit_corpus(&corpus).unwrap();
+//! let f = mtrl_metrics::fscore(&corpus.labels, &result.doc_labels);
+//! assert!(f > 0.3);
+//! ```
+
+pub mod baselines;
+pub mod engine;
+pub mod error;
+pub mod intra;
+pub mod kmeans;
+pub mod multitype;
+pub mod pipeline;
+pub mod rhchme;
+
+pub use error::RhchmeError;
+pub use multitype::MultiTypeData;
+pub use pipeline::{run_method, Method, MethodOutput};
+pub use rhchme::{Rhchme, RhchmeConfig, RhchmeResult};
+
+/// Result alias for this crate.
+pub type Result<T> = std::result::Result<T, RhchmeError>;

@@ -1,0 +1,454 @@
+//! One-call experiment runners.
+//!
+//! [`run_method`] executes any of the seven compared methods on a corpus
+//! with a single parameter bundle and returns labels, traces and wall
+//! time — exactly what the table/figure benches need. The heavyweight
+//! intermediates (assembled `R`, feature views, pNN Laplacians, subspace
+//! Laplacians) are also exposed through [`Artifacts`] so parameter sweeps
+//! recompute only what a swept parameter actually touches (Fig. 2).
+
+use crate::baselines::{
+    run_drcc, run_rmc, run_snmtf, run_src, DrccConfig, DrccVariant, RmcConfig, SnmtfConfig,
+    SrcConfig,
+};
+use crate::engine::{run_engine, EngineConfig, GraphRegularizer};
+use crate::intra::{hetero_laplacian, pnn_laplacians, subspace_laplacians};
+use crate::multitype::MultiTypeData;
+use crate::rhchme::{init_membership, package_result, Rhchme, RhchmeConfig};
+use crate::Result;
+use mtrl_datagen::MultiTypeCorpus;
+use mtrl_graph::{LaplacianKind, WeightScheme};
+use mtrl_linalg::block::BlockDiag;
+use mtrl_linalg::Mat;
+use mtrl_subspace::SpgConfig;
+use std::time::{Duration, Instant};
+
+/// The seven methods of Tables III–V.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Method {
+    /// DRCC on document–term (two-way baseline).
+    DrT,
+    /// DRCC on document–concept.
+    DrC,
+    /// DRCC on the concatenated feature space.
+    DrTC,
+    /// Spectral Relational Clustering (inter-type only).
+    Src,
+    /// Symmetric NMTF with a single pNN Laplacian.
+    Snmtf,
+    /// Relational multi-manifold co-clustering (pNN ensemble).
+    Rmc,
+    /// The paper's method.
+    Rhchme,
+}
+
+impl Method {
+    /// All methods in the paper's table order.
+    pub fn all() -> [Method; 7] {
+        [
+            Method::DrT,
+            Method::DrC,
+            Method::DrTC,
+            Method::Src,
+            Method::Snmtf,
+            Method::Rmc,
+            Method::Rhchme,
+        ]
+    }
+
+    /// Paper row label.
+    pub fn paper_name(self) -> &'static str {
+        match self {
+            Method::DrT => "DR-T",
+            Method::DrC => "DR-C",
+            Method::DrTC => "DR-TC",
+            Method::Src => "SRC",
+            Method::Snmtf => "SNMTF",
+            Method::Rmc => "RMC",
+            Method::Rhchme => "RHCHME",
+        }
+    }
+
+    /// Whether this is a high-order (multi-type) method.
+    pub fn is_hocc(self) -> bool {
+        !matches!(self, Method::DrT | Method::DrC | Method::DrTC)
+    }
+}
+
+/// Shared parameter bundle for all methods (tuned defaults from
+/// Sec. IV-B/E; per-method interpretations documented inline).
+#[derive(Debug, Clone)]
+pub struct PipelineParams {
+    /// Laplacian weight λ for SNMTF/RMC/RHCHME (DRCC uses `drcc_lambda`).
+    pub lambda: f64,
+    /// Subspace-learning γ (RHCHME only).
+    pub gamma: f64,
+    /// Ensemble trade-off α (RHCHME only).
+    pub alpha: f64,
+    /// Error-matrix β (RHCHME only).
+    pub beta: f64,
+    /// pNN neighbour count for SNMTF/RHCHME/DRCC graphs.
+    pub p: usize,
+    /// RMC's quadratic penalty μ on ensemble weights.
+    pub rmc_mu: f64,
+    /// DRCC document-side graph weight.
+    pub drcc_lambda: f64,
+    /// DRCC feature-side graph weight.
+    pub drcc_mu: f64,
+    /// Multiplicative-update iteration budget (all NMTF methods).
+    pub max_iter: usize,
+    /// Relative objective tolerance.
+    pub tol: f64,
+    /// SPG iteration budget (RHCHME stage 1).
+    pub spg_max_iter: usize,
+    /// Term/concept cluster divisor (`m / divisor`, clamped to `[2, 30]`).
+    pub feature_cluster_divisor: usize,
+    /// Seed for k-means / SPG initialisation.
+    pub seed: u64,
+    /// Record per-iteration document labels (Fig. 3).
+    pub record_doc_labels: bool,
+}
+
+impl Default for PipelineParams {
+    fn default() -> Self {
+        PipelineParams {
+            lambda: 0.05,
+            gamma: 5.0,
+            alpha: 1.0,
+            beta: 50.0,
+            p: 5,
+            rmc_mu: 1.0,
+            drcc_lambda: 0.1,
+            drcc_mu: 0.1,
+            max_iter: 100,
+            tol: 1e-6,
+            spg_max_iter: 60,
+            feature_cluster_divisor: 20,
+            seed: 2015,
+            record_doc_labels: false,
+        }
+    }
+}
+
+/// Unified method output for the benches.
+#[derive(Debug, Clone)]
+pub struct MethodOutput {
+    /// Which method produced this output.
+    pub method: Method,
+    /// Document cluster labels.
+    pub doc_labels: Vec<usize>,
+    /// Objective per iteration.
+    pub objective_trace: Vec<f64>,
+    /// Per-iteration document labels (empty unless requested).
+    pub label_trace: Vec<Vec<usize>>,
+    /// Wall-clock time of the full run (including intra-type learning).
+    pub elapsed: Duration,
+    /// Iterations performed by the main optimisation.
+    pub iterations: usize,
+    /// Whether the tolerance was met.
+    pub converged: bool,
+}
+
+/// Run one method end to end on a corpus.
+///
+/// # Errors
+/// Propagates data-assembly and optimisation errors.
+pub fn run_method(
+    corpus: &MultiTypeCorpus,
+    method: Method,
+    params: &PipelineParams,
+) -> Result<MethodOutput> {
+    let start = Instant::now();
+    let out = match method {
+        Method::DrT | Method::DrC | Method::DrTC => {
+            let variant = match method {
+                Method::DrT => DrccVariant::Terms,
+                Method::DrC => DrccVariant::Concepts,
+                _ => DrccVariant::TermsAndConcepts,
+            };
+            let r = crate::baselines::drcc::variant_matrix(corpus, variant);
+            let div = params.feature_cluster_divisor.max(1);
+            let res = run_drcc(
+                &r,
+                &DrccConfig {
+                    lambda: params.drcc_lambda,
+                    mu: params.drcc_mu,
+                    doc_clusters: corpus.num_classes,
+                    feature_clusters: (r.cols() / div).clamp(2, 30),
+                    p: params.p,
+                    max_iter: params.max_iter,
+                    tol: params.tol,
+                    seed: params.seed,
+                    record_doc_labels: params.record_doc_labels,
+                },
+            )?;
+            MethodOutput {
+                method,
+                doc_labels: res.doc_labels,
+                objective_trace: res.objective_trace,
+                label_trace: res.label_trace,
+                elapsed: start.elapsed(),
+                iterations: res.iterations,
+                converged: res.converged,
+            }
+        }
+        Method::Src => {
+            let data = MultiTypeData::from_corpus(corpus, params.feature_cluster_divisor)?;
+            let res = run_src(
+                &data,
+                &SrcConfig {
+                    max_iter: params.max_iter,
+                    tol: params.tol,
+                    seed: params.seed,
+                    record_doc_labels: params.record_doc_labels,
+                },
+            )?;
+            to_output(method, res, start)
+        }
+        Method::Snmtf => {
+            let data = MultiTypeData::from_corpus(corpus, params.feature_cluster_divisor)?;
+            let res = run_snmtf(
+                &data,
+                &SnmtfConfig {
+                    lambda: params.lambda,
+                    p: params.p,
+                    max_iter: params.max_iter,
+                    tol: params.tol,
+                    seed: params.seed,
+                    record_doc_labels: params.record_doc_labels,
+                    ..SnmtfConfig::default()
+                },
+            )?;
+            to_output(method, res, start)
+        }
+        Method::Rmc => {
+            let data = MultiTypeData::from_corpus(corpus, params.feature_cluster_divisor)?;
+            let res = run_rmc(
+                &data,
+                &RmcConfig {
+                    lambda: params.lambda,
+                    mu: params.rmc_mu,
+                    max_iter: params.max_iter,
+                    tol: params.tol,
+                    seed: params.seed,
+                    record_doc_labels: params.record_doc_labels,
+                    ..RmcConfig::default()
+                },
+            )?;
+            to_output(method, res.clustering, start)
+        }
+        Method::Rhchme => {
+            let model = Rhchme::new(RhchmeConfig {
+                lambda: params.lambda,
+                gamma: params.gamma,
+                alpha: params.alpha,
+                beta: params.beta,
+                p: params.p,
+                spg_max_iter: params.spg_max_iter,
+                max_iter: params.max_iter,
+                tol: params.tol,
+                seed: params.seed,
+                feature_cluster_divisor: params.feature_cluster_divisor,
+                record_doc_labels: params.record_doc_labels,
+                ..RhchmeConfig::default()
+            });
+            let res = model.fit_corpus(corpus)?;
+            to_output(method, res, start)
+        }
+    };
+    Ok(out)
+}
+
+fn to_output(
+    method: Method,
+    res: crate::rhchme::RhchmeResult,
+    start: Instant,
+) -> MethodOutput {
+    MethodOutput {
+        method,
+        doc_labels: res.doc_labels,
+        objective_trace: res.objective_trace,
+        label_trace: res.label_trace,
+        elapsed: start.elapsed(),
+        iterations: res.iterations,
+        converged: res.converged,
+    }
+}
+
+/// Precomputed heavyweight intermediates for parameter sweeps (Fig. 2).
+///
+/// A full RHCHME run decomposes into cacheable stages:
+///
+/// | swept parameter | must recompute                     |
+/// |-----------------|------------------------------------|
+/// | λ, β            | nothing (reuse `l_hetero(α)`)      |
+/// | α               | only the linear combination        |
+/// | γ               | the subspace Laplacians            |
+pub struct Artifacts {
+    /// Assembled multi-type dataset.
+    pub data: MultiTypeData,
+    /// Dense symmetric `R`.
+    pub r: Mat,
+    /// Per-type feature views.
+    pub features: Vec<Mat>,
+    /// k-means initial membership.
+    pub g0: Mat,
+    /// pNN Laplacian ensemble member `L_E`.
+    pub l_pnn: BlockDiag,
+}
+
+impl Artifacts {
+    /// Build the sweep-invariant artifacts once.
+    ///
+    /// # Errors
+    /// Propagates data-assembly errors.
+    pub fn new(corpus: &MultiTypeCorpus, params: &PipelineParams) -> Result<Self> {
+        let data = MultiTypeData::from_corpus(corpus, params.feature_cluster_divisor)?;
+        let features = data.all_features();
+        let g0 = init_membership(&data, &features, params.seed);
+        let r = data.assemble_r();
+        let l_pnn = pnn_laplacians(
+            &features,
+            params.p,
+            WeightScheme::Cosine,
+            LaplacianKind::SymNormalized,
+        )?;
+        Ok(Artifacts {
+            data,
+            r,
+            features,
+            g0,
+            l_pnn,
+        })
+    }
+
+    /// Subspace Laplacians for a given γ (the only γ-dependent stage).
+    ///
+    /// # Errors
+    /// Propagates SPG failures.
+    pub fn subspace_laplacian(&self, gamma: f64, spg_max_iter: usize, seed: u64) -> Result<BlockDiag> {
+        subspace_laplacians(
+            &self.features,
+            &SpgConfig {
+                gamma,
+                max_iter: spg_max_iter,
+                seed,
+                ..SpgConfig::default()
+            },
+            LaplacianKind::SymNormalized,
+        )
+    }
+
+    /// Run the RHCHME engine stage on cached artifacts with an explicit
+    /// heterogeneous ensemble (`l_sub` from [`Self::subspace_laplacian`]).
+    ///
+    /// The argument list mirrors the four swept hyper-parameters plus the
+    /// iteration budget — a struct would only restate `PipelineParams`.
+    ///
+    /// # Errors
+    /// Propagates engine failures.
+    #[allow(clippy::too_many_arguments)]
+    pub fn run_rhchme_engine(
+        &self,
+        l_sub: &BlockDiag,
+        alpha: f64,
+        lambda: f64,
+        beta: f64,
+        max_iter: usize,
+        tol: f64,
+        record_doc_labels: bool,
+    ) -> Result<crate::rhchme::RhchmeResult> {
+        let l = hetero_laplacian(l_sub, &self.l_pnn, alpha)?;
+        let cfg = EngineConfig {
+            lambda,
+            beta,
+            use_error_matrix: true,
+            l1_row_normalize: true,
+            max_iter,
+            tol,
+            record_labels_for_type: record_doc_labels.then_some(0),
+            ..EngineConfig::default()
+        };
+        let out = run_engine(
+            &self.r,
+            &self.data,
+            &GraphRegularizer::Fixed(l),
+            self.g0.clone(),
+            &cfg,
+        )?;
+        Ok(package_result(&self.data, out))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mtrl_datagen::corpus::{generate, CorpusConfig};
+
+    fn corpus() -> MultiTypeCorpus {
+        generate(&CorpusConfig {
+            docs_per_class: vec![8, 8],
+            vocab_size: 48,
+            concept_count: 12,
+            doc_len_range: (25, 40),
+            background_frac: 0.25,
+            topic_noise: 0.2,
+            concept_map_noise: 0.1,
+            corrupt_frac: 0.0,
+            subtopics_per_class: 1,
+            view_confusion: 0.0,
+            seed: 55,
+        })
+    }
+
+    fn fast_params() -> PipelineParams {
+        PipelineParams {
+            lambda: 0.5,
+            max_iter: 20,
+            spg_max_iter: 20,
+            feature_cluster_divisor: 10,
+            ..PipelineParams::default()
+        }
+    }
+
+    #[test]
+    fn every_method_runs() {
+        let c = corpus();
+        let params = fast_params();
+        for method in Method::all() {
+            let out = run_method(&c, method, &params).unwrap();
+            assert_eq!(out.doc_labels.len(), 16, "{method:?}");
+            assert!(!out.objective_trace.is_empty(), "{method:?}");
+            assert!(out.elapsed.as_nanos() > 0);
+            let f = mtrl_metrics::fscore(&c.labels, &out.doc_labels);
+            assert!(f > 0.5, "{method:?} fscore {f}");
+        }
+    }
+
+    #[test]
+    fn method_names_and_order() {
+        let names: Vec<_> = Method::all().iter().map(|m| m.paper_name()).collect();
+        assert_eq!(
+            names,
+            vec!["DR-T", "DR-C", "DR-TC", "SRC", "SNMTF", "RMC", "RHCHME"]
+        );
+        assert!(!Method::DrT.is_hocc());
+        assert!(Method::Rhchme.is_hocc());
+    }
+
+    #[test]
+    fn artifacts_sweep_reuse_matches_direct_run() {
+        let c = corpus();
+        let params = fast_params();
+        let arts = Artifacts::new(&c, &params).unwrap();
+        let l_sub = arts
+            .subspace_laplacian(params.gamma, params.spg_max_iter, params.seed)
+            .unwrap();
+        let res = arts
+            .run_rhchme_engine(&l_sub, 1.0, params.lambda, params.beta, 20, 1e-6, false)
+            .unwrap();
+        assert_eq!(res.doc_labels.len(), 16);
+        let f = mtrl_metrics::fscore(&c.labels, &res.doc_labels);
+        assert!(f > 0.5, "fscore {f}");
+    }
+}

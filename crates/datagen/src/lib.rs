@@ -1,0 +1,31 @@
+//! # mtrl-datagen
+//!
+//! Synthetic workloads for the RHCHME reproduction.
+//!
+//! The paper evaluates on subsets of 20Newsgroups and Reuters-21578
+//! enriched with Wikipedia concepts (Table II). Those corpora and the
+//! Wikipedia mapping pipeline (ref \[12\]) are not available offline, so —
+//! per the substitution policy in DESIGN.md §4 — this crate generates
+//! *statistically equivalent* multi-type relational data:
+//!
+//! * [`corpus`] — a latent-topic generator producing the three-type star
+//!   structure documents–terms–concepts with tf-idf-style weighting,
+//!   background noise and sample-wise corruption;
+//! * [`datasets`] — presets mirroring the class structure of D1–D4
+//!   (balanced Multi5/Multi10, skewed 25-class R-Min20Max200, large-class
+//!   R-Top10) at laptop scale, with a `Paper` scale matching Table II's
+//!   raw counts;
+//! * [`manifold`] — the Fig. 1 toy geometries (two intersecting circles,
+//!   unions of linear subspaces);
+//! * [`noise`] — corruption injectors used by the robustness experiments.
+//!
+//! Everything is seeded and deterministic.
+
+pub mod corpus;
+pub mod datasets;
+pub mod manifold;
+pub mod noise;
+
+pub use corpus::{CorpusConfig, MultiTypeCorpus};
+pub use datasets::{DatasetId, Scale};
+pub use manifold::{two_circles, union_of_subspaces};

@@ -1,0 +1,108 @@
+//! Corruption injectors for robustness experiments.
+//!
+//! The paper's `E_R` machinery targets *sample-wise* corruption: "only
+//! some data vectors are corrupted in the dataset" (Sec. III-C). These
+//! helpers inject exactly that into dense matrices, so the ablation
+//! benches can dial corruption independently of the corpus generator.
+
+use mtrl_linalg::Mat;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Replace a `frac` fraction of rows of `m` with uniform random values in
+/// `[0, scale)`. Returns the corrupted row indices (sorted).
+///
+/// # Panics
+/// Panics if `frac` is outside `[0, 1]` or `scale` is not positive.
+pub fn corrupt_rows(m: &mut Mat, frac: f64, scale: f64, seed: u64) -> Vec<usize> {
+    assert!((0.0..=1.0).contains(&frac), "frac must be in [0,1]");
+    assert!(scale > 0.0, "scale must be positive");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n_corrupt = ((m.rows() as f64) * frac).round() as usize;
+    let mut idx = mtrl_linalg::random::permutation(m.rows(), seed ^ 0x9e3779b97f4a7c15);
+    idx.truncate(n_corrupt);
+    idx.sort_unstable();
+    for &i in &idx {
+        for v in m.row_mut(i) {
+            *v = rng.gen_range(0.0..scale);
+        }
+    }
+    idx
+}
+
+/// Add sparse "salt" noise: each entry independently replaced with a
+/// uniform value in `[0, scale)` with probability `p`. Returns the number
+/// of entries changed.
+///
+/// # Panics
+/// Panics if `p` is outside `[0, 1]` or `scale` is not positive.
+pub fn salt_noise(m: &mut Mat, p: f64, scale: f64, seed: u64) -> usize {
+    assert!((0.0..=1.0).contains(&p), "p must be in [0,1]");
+    assert!(scale > 0.0, "scale must be positive");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut changed = 0;
+    for v in m.as_mut_slice() {
+        if rng.gen_range(0.0..1.0) < p {
+            *v = rng.gen_range(0.0..scale);
+            changed += 1;
+        }
+    }
+    changed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mtrl_linalg::random::rand_uniform;
+
+    #[test]
+    fn corrupt_rows_count_and_indices() {
+        let mut m = Mat::zeros(20, 5);
+        let idx = corrupt_rows(&mut m, 0.25, 1.0, 3);
+        assert_eq!(idx.len(), 5);
+        // Corrupted rows are nonzero, others untouched.
+        for i in 0..20 {
+            let s: f64 = m.row(i).iter().sum();
+            if idx.contains(&i) {
+                assert!(s > 0.0);
+            } else {
+                assert_eq!(s, 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn corrupt_rows_zero_frac_noop() {
+        let mut m = rand_uniform(5, 5, 0.0, 1.0, 4);
+        let orig = m.clone();
+        let idx = corrupt_rows(&mut m, 0.0, 1.0, 5);
+        assert!(idx.is_empty());
+        assert!(m.approx_eq(&orig, 0.0));
+    }
+
+    #[test]
+    fn corrupt_rows_deterministic() {
+        let mut a = Mat::zeros(10, 3);
+        let mut b = Mat::zeros(10, 3);
+        let ia = corrupt_rows(&mut a, 0.3, 1.0, 6);
+        let ib = corrupt_rows(&mut b, 0.3, 1.0, 6);
+        assert_eq!(ia, ib);
+        assert!(a.approx_eq(&b, 0.0));
+    }
+
+    #[test]
+    fn salt_noise_rate_roughly_p() {
+        let mut m = Mat::zeros(100, 100);
+        let changed = salt_noise(&mut m, 0.1, 1.0, 7);
+        let rate = changed as f64 / 10_000.0;
+        assert!((rate - 0.1).abs() < 0.02, "rate {rate}");
+    }
+
+    #[test]
+    fn salt_noise_zero_p_noop() {
+        let mut m = rand_uniform(5, 5, 0.0, 1.0, 8);
+        let orig = m.clone();
+        assert_eq!(salt_noise(&mut m, 0.0, 1.0, 9), 0);
+        assert!(m.approx_eq(&orig, 0.0));
+    }
+}

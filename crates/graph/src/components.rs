@@ -1,0 +1,94 @@
+//! Connected components of an undirected sparse graph.
+//!
+//! Used by the Fig. 1 reproduction (counting whether subspace-learned
+//! affinity separates the two circles) and by dataset sanity checks.
+
+use mtrl_sparse::Csr;
+
+/// Label connected components of a symmetric adjacency matrix.
+///
+/// Returns `(labels, num_components)`; labels are `0..num_components` in
+/// order of first appearance (BFS from vertex 0 upward). Edges with weight
+/// `<= tol` are ignored.
+///
+/// # Panics
+/// Panics if `w` is not square.
+pub fn connected_components(w: &Csr, tol: f64) -> (Vec<usize>, usize) {
+    assert_eq!(w.rows(), w.cols(), "components of a non-square matrix");
+    let n = w.rows();
+    let mut label = vec![usize::MAX; n];
+    let mut next = 0usize;
+    let mut queue = std::collections::VecDeque::new();
+    for start in 0..n {
+        if label[start] != usize::MAX {
+            continue;
+        }
+        label[start] = next;
+        queue.push_back(start);
+        while let Some(u) = queue.pop_front() {
+            let (cols, vals) = w.row(u);
+            for (&v, &wt) in cols.iter().zip(vals) {
+                if wt.abs() > tol && label[v] == usize::MAX {
+                    label[v] = next;
+                    queue.push_back(v);
+                }
+            }
+        }
+        next += 1;
+    }
+    (label, next)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mtrl_sparse::Coo;
+
+    fn graph(edges: &[(usize, usize)], n: usize) -> Csr {
+        let mut c = Coo::new(n, n);
+        for &(i, j) in edges {
+            c.push(i, j, 1.0);
+            c.push(j, i, 1.0);
+        }
+        c.to_csr()
+    }
+
+    #[test]
+    fn single_component() {
+        let g = graph(&[(0, 1), (1, 2), (2, 3)], 4);
+        let (labels, k) = connected_components(&g, 0.0);
+        assert_eq!(k, 1);
+        assert!(labels.iter().all(|&l| l == 0));
+    }
+
+    #[test]
+    fn two_components_and_isolated() {
+        let g = graph(&[(0, 1), (2, 3)], 5);
+        let (labels, k) = connected_components(&g, 0.0);
+        assert_eq!(k, 3);
+        assert_eq!(labels[0], labels[1]);
+        assert_eq!(labels[2], labels[3]);
+        assert_ne!(labels[0], labels[2]);
+        assert_eq!(labels[4], 2);
+    }
+
+    #[test]
+    fn empty_graph_all_isolated() {
+        let g = Csr::zeros(3, 3);
+        let (labels, k) = connected_components(&g, 0.0);
+        assert_eq!(k, 3);
+        assert_eq!(labels, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn tolerance_ignores_weak_edges() {
+        let mut c = Coo::new(2, 2);
+        c.push(0, 1, 1e-12);
+        c.push(1, 0, 1e-12);
+        let g = c.to_csr();
+        let (_, k_strict) = connected_components(&g, 1e-9);
+        assert_eq!(k_strict, 2);
+        let (_, k_loose) = connected_components(&g, 0.0);
+        assert_eq!(k_loose, 1);
+    }
+}

@@ -1,0 +1,122 @@
+//! Laplacian ensembles.
+//!
+//! * [`linear_combination`] — the RMC-style pre-given candidate ensemble
+//!   `L = Σ βᵢ L̂ᵢ` with `Σβᵢ = 1, βᵢ > 0` (paper Eq. 2);
+//! * [`hetero_ensemble`] — the paper's heterogeneous manifold ensemble
+//!   `L = α·L_S + L_E` (Eq. 12) combining a subspace-learned member with a
+//!   pNN member.
+
+use mtrl_linalg::{LinalgError, Mat};
+
+/// Linear combination `Σ βᵢ L̂ᵢ` of candidate Laplacians (Eq. 2).
+///
+/// # Errors
+/// * [`LinalgError::InvalidArgument`] if inputs are empty, lengths differ,
+///   or any weight is negative;
+/// * [`LinalgError::ShapeMismatch`] if candidate shapes differ.
+pub fn linear_combination(laps: &[Mat], weights: &[f64]) -> Result<Mat, LinalgError> {
+    if laps.is_empty() || laps.len() != weights.len() {
+        return Err(LinalgError::InvalidArgument(format!(
+            "linear_combination: {} candidates vs {} weights",
+            laps.len(),
+            weights.len()
+        )));
+    }
+    if weights.iter().any(|&b| b < 0.0) {
+        return Err(LinalgError::InvalidArgument(
+            "linear_combination: negative ensemble weight".into(),
+        ));
+    }
+    let shape = laps[0].shape();
+    let mut out = Mat::zeros(shape.0, shape.1);
+    for (l, &b) in laps.iter().zip(weights) {
+        if l.shape() != shape {
+            return Err(LinalgError::ShapeMismatch {
+                op: "linear_combination",
+                lhs: shape,
+                rhs: l.shape(),
+            });
+        }
+        out.axpy_inplace(b, l)?;
+    }
+    Ok(out)
+}
+
+/// The heterogeneous manifold ensemble of Eq. (12): `L = α·L_S + L_E`.
+///
+/// `α → ∞` trusts only the subspace member, `α → 0` only the pNN member
+/// (Sec. III-B).
+///
+/// # Errors
+/// Returns [`LinalgError::ShapeMismatch`] when the two members disagree in
+/// shape, and [`LinalgError::InvalidArgument`] for negative `α`.
+pub fn hetero_ensemble(l_s: &Mat, l_e: &Mat, alpha: f64) -> Result<Mat, LinalgError> {
+    if alpha < 0.0 {
+        return Err(LinalgError::InvalidArgument(
+            "hetero_ensemble: alpha must be nonnegative".into(),
+        ));
+    }
+    let mut out = l_e.clone();
+    out.axpy_inplace(alpha, l_s)?;
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mtrl_linalg::random::rand_uniform;
+
+    #[test]
+    fn single_member_identity_weighting() {
+        let l = rand_uniform(4, 4, -1.0, 1.0, 70);
+        let out = linear_combination(std::slice::from_ref(&l), &[1.0]).unwrap();
+        assert!(out.approx_eq(&l, 1e-15));
+    }
+
+    #[test]
+    fn convex_combination() {
+        let a = Mat::filled(2, 2, 1.0);
+        let b = Mat::filled(2, 2, 3.0);
+        let out = linear_combination(&[a, b], &[0.25, 0.75]).unwrap();
+        assert!((out[(0, 0)] - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        let a = Mat::zeros(2, 2);
+        assert!(linear_combination(&[], &[]).is_err());
+        assert!(linear_combination(std::slice::from_ref(&a), &[1.0, 2.0]).is_err());
+        assert!(linear_combination(std::slice::from_ref(&a), &[-0.1]).is_err());
+        let b = Mat::zeros(3, 3);
+        assert!(linear_combination(&[a, b], &[0.5, 0.5]).is_err());
+    }
+
+    #[test]
+    fn hetero_matches_formula() {
+        let ls = rand_uniform(3, 3, -1.0, 1.0, 71);
+        let le = rand_uniform(3, 3, -1.0, 1.0, 72);
+        let alpha = 0.7;
+        let out = hetero_ensemble(&ls, &le, alpha).unwrap();
+        for i in 0..3 {
+            for j in 0..3 {
+                assert!((out[(i, j)] - (alpha * ls[(i, j)] + le[(i, j)])).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn hetero_alpha_zero_is_pnn_only() {
+        let ls = rand_uniform(3, 3, -1.0, 1.0, 73);
+        let le = rand_uniform(3, 3, -1.0, 1.0, 74);
+        let out = hetero_ensemble(&ls, &le, 0.0).unwrap();
+        assert!(out.approx_eq(&le, 1e-15));
+    }
+
+    #[test]
+    fn hetero_rejects_negative_alpha_and_shape_mismatch() {
+        let ls = Mat::zeros(2, 2);
+        let le = Mat::zeros(2, 2);
+        assert!(hetero_ensemble(&ls, &le, -1.0).is_err());
+        assert!(hetero_ensemble(&ls, &Mat::zeros(3, 3), 1.0).is_err());
+    }
+}

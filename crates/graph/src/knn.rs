@@ -1,0 +1,225 @@
+//! pNN graph construction (paper Eq. 3).
+//!
+//! For each object `x_i` (a row of the feature matrix) the `p` nearest
+//! neighbours in Euclidean distance are found; edge weights follow the
+//! chosen [`WeightScheme`]. The graph is symmetrised with the "or" rule of
+//! Eq. (3): `(W)_ij = w_ij` if `x_j ∈ N(x_i)` **or** `x_i ∈ N(x_j)`.
+
+use mtrl_linalg::vecops::{cosine, sq_dist};
+use mtrl_linalg::Mat;
+use mtrl_sparse::{Coo, Csr};
+
+/// Edge weighting schemes of Eq. (3).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum WeightScheme {
+    /// `w_ij = 1` whenever an edge exists.
+    Binary,
+    /// Heat kernel `w_ij = exp(-‖x_i − x_j‖² / σ)`. A non-positive σ
+    /// activates the self-tuning heuristic (mean squared neighbour
+    /// distance over the whole graph).
+    HeatKernel {
+        /// Local bandwidth σ (paper's user-defined parameter).
+        sigma: f64,
+    },
+    /// Cosine similarity `w_ij = xᵢᵀxⱼ / (‖xᵢ‖‖xⱼ‖)`, clamped at zero so
+    /// weights stay nonnegative (tf-idf features are nonnegative anyway).
+    Cosine,
+}
+
+/// Indices of the `p` nearest neighbours (Euclidean) of every row of
+/// `data`, excluding the object itself. Rows with fewer than `p` other
+/// objects return everything available.
+///
+/// Brute force `O(n² D)` — the paper's complexity analysis (Sec. III-F)
+/// assumes exactly this `O(n_k² p K)` construction.
+pub fn knn_indices(data: &Mat, p: usize) -> Vec<Vec<usize>> {
+    let n = data.rows();
+    let mut out = Vec::with_capacity(n);
+    let mut scratch: Vec<(f64, usize)> = Vec::with_capacity(n.saturating_sub(1));
+    for i in 0..n {
+        scratch.clear();
+        let xi = data.row(i);
+        for j in 0..n {
+            if j == i {
+                continue;
+            }
+            scratch.push((sq_dist(xi, data.row(j)), j));
+        }
+        let k = p.min(scratch.len());
+        if k > 0 {
+            scratch.select_nth_unstable_by(k - 1, |a, b| {
+                a.0.partial_cmp(&b.0).expect("NaN distance in knn")
+            });
+        }
+        let mut neigh: Vec<usize> = scratch[..k].iter().map(|&(_, j)| j).collect();
+        neigh.sort_unstable();
+        out.push(neigh);
+    }
+    out
+}
+
+/// Build the symmetric pNN weight matrix `W_E` of Eq. (3).
+///
+/// `data` holds one object per row. The output is a symmetric nonnegative
+/// sparse matrix with zero diagonal.
+pub fn pnn_graph(data: &Mat, p: usize, scheme: WeightScheme) -> Csr {
+    let n = data.rows();
+    let neighbours = knn_indices(data, p);
+    let sigma = match scheme {
+        WeightScheme::HeatKernel { sigma } if sigma <= 0.0 => {
+            self_tuning_sigma(data, &neighbours)
+        }
+        WeightScheme::HeatKernel { sigma } => sigma,
+        _ => 1.0,
+    };
+    let mut coo = Coo::with_capacity(n, n, 2 * p * n);
+    for (i, neigh) in neighbours.iter().enumerate() {
+        let xi = data.row(i);
+        for &j in neigh {
+            let w = match scheme {
+                WeightScheme::Binary => 1.0,
+                WeightScheme::HeatKernel { .. } => (-sq_dist(xi, data.row(j)) / sigma).exp(),
+                WeightScheme::Cosine => cosine(xi, data.row(j)).max(0.0),
+            };
+            if w > 0.0 {
+                coo.push(i, j, w);
+            }
+        }
+    }
+    // "or" symmetrisation: keep an edge if either endpoint chose it. Using
+    // max avoids double-counting mutual neighbours.
+    coo.to_csr().max_symmetrize()
+}
+
+/// Self-tuning bandwidth: mean squared neighbour distance across the graph.
+fn self_tuning_sigma(data: &Mat, neighbours: &[Vec<usize>]) -> f64 {
+    let mut total = 0.0;
+    let mut count = 0usize;
+    for (i, neigh) in neighbours.iter().enumerate() {
+        let xi = data.row(i);
+        for &j in neigh {
+            total += sq_dist(xi, data.row(j));
+            count += 1;
+        }
+    }
+    if count == 0 || total <= 0.0 {
+        1.0
+    } else {
+        total / count as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mtrl_linalg::random::rand_uniform;
+
+    /// Three tight, well-separated clusters on a line.
+    fn clustered_data() -> Mat {
+        let mut rows = Vec::new();
+        for c in 0..3 {
+            for k in 0..4 {
+                rows.push(vec![c as f64 * 100.0 + k as f64 * 0.1, 0.0]);
+            }
+        }
+        Mat::from_rows(&rows).unwrap()
+    }
+
+    #[test]
+    fn knn_finds_cluster_mates() {
+        let data = clustered_data();
+        let nn = knn_indices(&data, 3);
+        for (i, neigh) in nn.iter().enumerate() {
+            assert_eq!(neigh.len(), 3);
+            let my_cluster = i / 4;
+            for &j in neigh {
+                assert_eq!(j / 4, my_cluster, "object {i} got neighbour {j}");
+            }
+            assert!(!neigh.contains(&i), "self-neighbour");
+        }
+    }
+
+    #[test]
+    fn knn_handles_small_n() {
+        let data = Mat::from_rows(&[vec![0.0], vec![1.0]]).unwrap();
+        let nn = knn_indices(&data, 5);
+        assert_eq!(nn[0], vec![1]);
+        assert_eq!(nn[1], vec![0]);
+    }
+
+    #[test]
+    fn pnn_graph_symmetric_nonneg_zero_diag() {
+        let data = rand_uniform(30, 5, -1.0, 1.0, 60);
+        for scheme in [
+            WeightScheme::Binary,
+            WeightScheme::HeatKernel { sigma: 0.5 },
+            WeightScheme::HeatKernel { sigma: -1.0 },
+            WeightScheme::Cosine,
+        ] {
+            let w = pnn_graph(&data, 4, scheme);
+            assert!(w.is_symmetric(1e-12), "{scheme:?} not symmetric");
+            for (i, j, v) in w.iter() {
+                assert!(v >= 0.0, "{scheme:?} negative weight");
+                assert_ne!(i, j, "{scheme:?} self loop");
+            }
+        }
+    }
+
+    #[test]
+    fn binary_weights_are_one() {
+        let data = clustered_data();
+        let w = pnn_graph(&data, 2, WeightScheme::Binary);
+        for (_, _, v) in w.iter() {
+            assert_eq!(v, 1.0);
+        }
+    }
+
+    #[test]
+    fn heat_kernel_decays_with_distance() {
+        let data = Mat::from_rows(&[vec![0.0], vec![1.0], vec![3.0]]).unwrap();
+        let w = pnn_graph(&data, 2, WeightScheme::HeatKernel { sigma: 1.0 });
+        // d(0,1)=1 < d(0,2)=9 => w(0,1) > w(0,2).
+        assert!(w.get(0, 1) > w.get(0, 2));
+        assert!((w.get(0, 1) - (-1.0f64).exp()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cosine_weights_bounded() {
+        let data = rand_uniform(20, 4, 0.0, 1.0, 61);
+        let w = pnn_graph(&data, 3, WeightScheme::Cosine);
+        for (_, _, v) in w.iter() {
+            assert!((0.0..=1.0 + 1e-12).contains(&v));
+        }
+    }
+
+    #[test]
+    fn edge_count_bounded_by_2pn() {
+        let data = rand_uniform(40, 3, -1.0, 1.0, 62);
+        let p = 5;
+        let w = pnn_graph(&data, p, WeightScheme::Binary);
+        assert!(w.nnz() <= 2 * p * 40);
+        // And at least p*n (each object contributes p out-edges).
+        assert!(w.nnz() >= p * 40);
+    }
+
+    #[test]
+    fn separated_clusters_have_no_cross_edges() {
+        let data = clustered_data();
+        let w = pnn_graph(&data, 3, WeightScheme::Binary);
+        for (i, j, _) in w.iter() {
+            assert_eq!(i / 4, j / 4, "cross-cluster edge {i}-{j}");
+        }
+    }
+
+    #[test]
+    fn self_tuning_sigma_positive() {
+        let data = rand_uniform(10, 2, -1.0, 1.0, 63);
+        let nn = knn_indices(&data, 3);
+        let s = self_tuning_sigma(&data, &nn);
+        assert!(s > 0.0);
+        // Degenerate: all points identical -> fallback 1.0.
+        let same = Mat::zeros(5, 2);
+        let nn2 = knn_indices(&same, 2);
+        assert_eq!(self_tuning_sigma(&same, &nn2), 1.0);
+    }
+}

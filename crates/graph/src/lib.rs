@@ -1,0 +1,27 @@
+//! # mtrl-graph
+//!
+//! Nearest-neighbour graphs and graph Laplacians for the RHCHME
+//! reproduction.
+//!
+//! This crate implements the paper's Eq. (3) — the pNN intra-type
+//! relationship `W_E` with binary / heat-kernel / cosine weighting — plus
+//! the Laplacian constructions used by every HOCC method:
+//!
+//! * SNMTF uses a single pNN Laplacian (Eq. 1);
+//! * RMC uses a linear ensemble of pre-given candidates (Eq. 2);
+//! * RHCHME uses the *heterogeneous* ensemble `L = α·L_S + L_E` (Eq. 12)
+//!   mixing the subspace-learned Laplacian with the pNN one.
+//!
+//! Graphs are built over objects given as **rows** of a dense feature
+//! matrix; the resulting weight matrices are sparse ([`mtrl_sparse::Csr`])
+//! and the Laplacians dense per-type blocks ([`mtrl_linalg::Mat`]), ready
+//! for the positive/negative splits of the multiplicative update.
+
+pub mod components;
+pub mod ensemble;
+pub mod knn;
+pub mod laplacian;
+
+pub use ensemble::{hetero_ensemble, linear_combination};
+pub use knn::{knn_indices, pnn_graph, WeightScheme};
+pub use laplacian::{laplacian_dense, LaplacianKind};

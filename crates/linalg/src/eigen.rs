@@ -1,0 +1,256 @@
+//! Cyclic Jacobi eigensolver for symmetric matrices.
+//!
+//! Used by the spectral utilities (normalised-cut demo, sanity checks on
+//! Laplacian spectra) and by tests that verify Laplacian positive
+//! semidefiniteness. Dense Jacobi was chosen deliberately: the repro
+//! calibration notes that sparse eigensolvers in pure Rust are immature,
+//! and all our spectral needs are small/medium dense symmetric matrices.
+
+use crate::error::LinalgError;
+use crate::mat::Mat;
+use crate::Result;
+
+/// Result of a symmetric eigendecomposition `A = V diag(λ) Vᵀ`.
+#[derive(Debug, Clone)]
+pub struct SymEigen {
+    /// Eigenvalues in ascending order.
+    pub values: Vec<f64>,
+    /// Eigenvectors as columns, ordered to match `values`.
+    pub vectors: Mat,
+}
+
+/// Compute all eigenvalues/eigenvectors of a symmetric matrix with the
+/// cyclic Jacobi method.
+///
+/// `tol` bounds the off-diagonal Frobenius mass at convergence
+/// (`1e-10` is a good default); `max_sweeps` bounds the number of full
+/// cyclic sweeps (each sweep is `n(n-1)/2` rotations).
+///
+/// # Errors
+/// * [`LinalgError::NotSquare`] for non-square input.
+/// * [`LinalgError::InvalidArgument`] if the matrix is not symmetric
+///   (checked to `1e-8` relative tolerance).
+/// * [`LinalgError::NoConvergence`] if `max_sweeps` is exhausted.
+pub fn sym_eigen(a: &Mat, tol: f64, max_sweeps: usize) -> Result<SymEigen> {
+    if !a.is_square() {
+        return Err(LinalgError::NotSquare {
+            op: "sym_eigen",
+            shape: a.shape(),
+        });
+    }
+    let n = a.rows();
+    let scale = crate::norms::max_abs(a).max(1.0);
+    for i in 0..n {
+        for j in i + 1..n {
+            if (a[(i, j)] - a[(j, i)]).abs() > 1e-8 * scale {
+                return Err(LinalgError::InvalidArgument(format!(
+                    "sym_eigen: matrix not symmetric at ({i},{j})"
+                )));
+            }
+        }
+    }
+    if n == 0 {
+        return Ok(SymEigen {
+            values: vec![],
+            vectors: Mat::zeros(0, 0),
+        });
+    }
+
+    let mut m = a.clone();
+    // Force exact symmetry so rotations stay consistent.
+    for i in 0..n {
+        for j in i + 1..n {
+            let v = 0.5 * (m[(i, j)] + m[(j, i)]);
+            m[(i, j)] = v;
+            m[(j, i)] = v;
+        }
+    }
+    let mut v = Mat::identity(n);
+
+    for _sweep in 0..max_sweeps {
+        let off = off_diag_sq(&m);
+        if off <= tol * tol {
+            return Ok(finish(m, v));
+        }
+        for p in 0..n - 1 {
+            for q in p + 1..n {
+                let apq = m[(p, q)];
+                if apq.abs() < 1e-300 {
+                    continue;
+                }
+                let app = m[(p, p)];
+                let aqq = m[(q, q)];
+                // Rotation angle (Golub & Van Loan, Alg. 8.4.1).
+                let theta = (aqq - app) / (2.0 * apq);
+                let t = if theta >= 0.0 {
+                    1.0 / (theta + (1.0 + theta * theta).sqrt())
+                } else {
+                    1.0 / (theta - (1.0 + theta * theta).sqrt())
+                };
+                let c = 1.0 / (1.0 + t * t).sqrt();
+                let s = t * c;
+                apply_rotation(&mut m, p, q, c, s);
+                rotate_columns(&mut v, p, q, c, s);
+            }
+        }
+    }
+    // One last check: matrices can converge exactly on the final sweep.
+    if off_diag_sq(&m) <= tol * tol {
+        Ok(finish(m, v))
+    } else {
+        Err(LinalgError::NoConvergence {
+            op: "sym_eigen",
+            iterations: max_sweeps,
+        })
+    }
+}
+
+fn off_diag_sq(m: &Mat) -> f64 {
+    let n = m.rows();
+    let mut s = 0.0;
+    for i in 0..n {
+        for j in i + 1..n {
+            s += 2.0 * m[(i, j)] * m[(i, j)];
+        }
+    }
+    s
+}
+
+/// Two-sided Jacobi rotation `Jᵀ M J` on the (p, q) plane.
+fn apply_rotation(m: &mut Mat, p: usize, q: usize, c: f64, s: f64) {
+    let n = m.rows();
+    let app = m[(p, p)];
+    let aqq = m[(q, q)];
+    let apq = m[(p, q)];
+    m[(p, p)] = c * c * app - 2.0 * s * c * apq + s * s * aqq;
+    m[(q, q)] = s * s * app + 2.0 * s * c * apq + c * c * aqq;
+    m[(p, q)] = 0.0;
+    m[(q, p)] = 0.0;
+    for k in 0..n {
+        if k == p || k == q {
+            continue;
+        }
+        let akp = m[(k, p)];
+        let akq = m[(k, q)];
+        let new_kp = c * akp - s * akq;
+        let new_kq = s * akp + c * akq;
+        m[(k, p)] = new_kp;
+        m[(p, k)] = new_kp;
+        m[(k, q)] = new_kq;
+        m[(q, k)] = new_kq;
+    }
+}
+
+/// Right-multiply `V` by the rotation (updates eigenvector columns p, q).
+fn rotate_columns(v: &mut Mat, p: usize, q: usize, c: f64, s: f64) {
+    for k in 0..v.rows() {
+        let vkp = v[(k, p)];
+        let vkq = v[(k, q)];
+        v[(k, p)] = c * vkp - s * vkq;
+        v[(k, q)] = s * vkp + c * vkq;
+    }
+}
+
+fn finish(m: Mat, v: Mat) -> SymEigen {
+    let n = m.rows();
+    let mut order: Vec<usize> = (0..n).collect();
+    let diag: Vec<f64> = (0..n).map(|i| m[(i, i)]).collect();
+    order.sort_by(|&a, &b| diag[a].partial_cmp(&diag[b]).expect("NaN eigenvalue"));
+    let values: Vec<f64> = order.iter().map(|&i| diag[i]).collect();
+    let mut vectors = Mat::zeros(n, n);
+    for (new_col, &old_col) in order.iter().enumerate() {
+        for r in 0..n {
+            vectors[(r, new_col)] = v[(r, old_col)];
+        }
+    }
+    SymEigen { values, vectors }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::{matmul, matvec};
+    use crate::random::rand_uniform;
+
+    fn random_symmetric(n: usize, seed: u64) -> Mat {
+        let m = rand_uniform(n, n, -1.0, 1.0, seed);
+        let mt = m.transpose();
+        m.add(&mt).unwrap().scaled(0.5)
+    }
+
+    #[test]
+    fn diagonal_matrix_eigenvalues() {
+        let a = Mat::from_diag(&[3.0, 1.0, 2.0]);
+        let e = sym_eigen(&a, 1e-12, 50).unwrap();
+        assert_eq!(e.values, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn two_by_two_known() {
+        // [[2,1],[1,2]] has eigenvalues 1 and 3.
+        let a = Mat::from_vec(2, 2, vec![2.0, 1.0, 1.0, 2.0]).unwrap();
+        let e = sym_eigen(&a, 1e-12, 50).unwrap();
+        assert!((e.values[0] - 1.0).abs() < 1e-10);
+        assert!((e.values[1] - 3.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn reconstruction_and_orthonormality() {
+        let a = random_symmetric(12, 31);
+        let e = sym_eigen(&a, 1e-11, 100).unwrap();
+        // V diag(λ) Vᵀ == A
+        let mut vl = e.vectors.clone();
+        crate::ops::scale_cols_inplace(&mut vl, &e.values);
+        let rec = matmul(&vl, &e.vectors.transpose()).unwrap();
+        assert!(rec.approx_eq(&a, 1e-8));
+        // VᵀV == I
+        let vtv = matmul(&e.vectors.transpose(), &e.vectors).unwrap();
+        assert!(vtv.approx_eq(&Mat::identity(12), 1e-9));
+    }
+
+    #[test]
+    fn eigen_pairs_satisfy_av_equals_lv() {
+        let a = random_symmetric(8, 32);
+        let e = sym_eigen(&a, 1e-11, 100).unwrap();
+        for k in 0..8 {
+            let v = e.vectors.col(k);
+            let av = matvec(&a, &v).unwrap();
+            for i in 0..8 {
+                assert!((av[i] - e.values[k] * v[i]).abs() < 1e-8);
+            }
+        }
+    }
+
+    #[test]
+    fn trace_equals_eigenvalue_sum() {
+        let a = random_symmetric(10, 33);
+        let e = sym_eigen(&a, 1e-11, 100).unwrap();
+        let sum: f64 = e.values.iter().sum();
+        assert!((sum - a.trace()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rejects_asymmetric() {
+        let a = Mat::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        assert!(sym_eigen(&a, 1e-10, 10).is_err());
+    }
+
+    #[test]
+    fn rejects_non_square() {
+        assert!(sym_eigen(&Mat::zeros(2, 3), 1e-10, 10).is_err());
+    }
+
+    #[test]
+    fn empty_matrix_ok() {
+        let e = sym_eigen(&Mat::zeros(0, 0), 1e-10, 10).unwrap();
+        assert!(e.values.is_empty());
+    }
+
+    #[test]
+    fn psd_gram_has_nonnegative_spectrum() {
+        let x = rand_uniform(6, 9, -1.0, 1.0, 34);
+        let g = matmul(&x, &x.transpose()).unwrap();
+        let e = sym_eigen(&g, 1e-11, 100).unwrap();
+        assert!(e.values.iter().all(|&v| v > -1e-9), "{:?}", e.values);
+    }
+}

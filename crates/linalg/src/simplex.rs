@@ -1,0 +1,93 @@
+//! Euclidean projection onto the probability simplex.
+//!
+//! Needed by the RMC baseline (ref \[15\] of the paper): its ensemble weights
+//! `β` must satisfy `Σ βᵢ = 1, βᵢ ≥ 0` (Eq. 2). The projection uses the
+//! classic sort-and-threshold algorithm (Held–Wolfe–Crowder; see also
+//! Duchi et al. 2008), O(q log q) in the number of candidates `q`.
+
+/// Project `v` onto the simplex `{x : Σxᵢ = z, xᵢ ≥ 0}` and return the
+/// projection. `z` must be positive (use `1.0` for the probability simplex).
+///
+/// # Panics
+/// Panics if `z <= 0` or `v` is empty.
+pub fn project_simplex(v: &[f64], z: f64) -> Vec<f64> {
+    assert!(z > 0.0, "simplex radius must be positive");
+    assert!(!v.is_empty(), "cannot project an empty vector");
+    let mut u: Vec<f64> = v.to_vec();
+    u.sort_by(|a, b| b.partial_cmp(a).expect("NaN in simplex projection input"));
+    let mut css = 0.0;
+    let mut rho = 0;
+    let mut theta = 0.0;
+    for (i, &ui) in u.iter().enumerate() {
+        css += ui;
+        let t = (css - z) / (i as f64 + 1.0);
+        if ui - t > 0.0 {
+            rho = i;
+            theta = t;
+        }
+    }
+    let _ = rho;
+    v.iter().map(|&x| (x - theta).max(0.0)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn on_simplex(x: &[f64], z: f64) -> bool {
+        x.iter().all(|&v| v >= -1e-12) && (x.iter().sum::<f64>() - z).abs() < 1e-9
+    }
+
+    #[test]
+    fn already_on_simplex_is_fixed_point() {
+        let v = vec![0.2, 0.3, 0.5];
+        let p = project_simplex(&v, 1.0);
+        for (a, b) in v.iter().zip(&p) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn projection_lands_on_simplex() {
+        let cases: Vec<Vec<f64>> = vec![
+            vec![10.0, -3.0, 0.2],
+            vec![0.0, 0.0, 0.0],
+            vec![-1.0, -2.0, -3.0],
+            vec![0.5],
+            vec![1.0, 1.0, 1.0, 1.0],
+        ];
+        for v in cases {
+            let p = project_simplex(&v, 1.0);
+            assert!(on_simplex(&p, 1.0), "failed on {v:?} -> {p:?}");
+        }
+    }
+
+    #[test]
+    fn dominant_entry_takes_all() {
+        let p = project_simplex(&[100.0, 0.0, 0.0], 1.0);
+        assert!((p[0] - 1.0).abs() < 1e-12);
+        assert_eq!(p[1], 0.0);
+        assert_eq!(p[2], 0.0);
+    }
+
+    #[test]
+    fn ordering_preserved() {
+        let p = project_simplex(&[3.0, 1.0, 2.0], 1.0);
+        assert!(p[0] >= p[2] && p[2] >= p[1]);
+    }
+
+    #[test]
+    fn general_radius() {
+        let p = project_simplex(&[1.0, 2.0, 3.0], 2.0);
+        assert!(on_simplex(&p, 2.0));
+    }
+
+    #[test]
+    fn projection_is_idempotent() {
+        let p = project_simplex(&[5.0, -2.0, 0.3, 0.1], 1.0);
+        let pp = project_simplex(&p, 1.0);
+        for (a, b) in p.iter().zip(&pp) {
+            assert!((a - b).abs() < 1e-9);
+        }
+    }
+}

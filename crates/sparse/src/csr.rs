@@ -1,0 +1,508 @@
+//! Compressed sparse row matrix.
+
+use mtrl_linalg::Mat;
+
+/// Compressed sparse row (CSR) matrix of `f64`.
+///
+/// Invariants (maintained by all constructors):
+/// * `indptr.len() == rows + 1`, `indptr[0] == 0`, non-decreasing;
+/// * `indices` / `values` have length `indptr[rows]`;
+/// * within each row, column indices are strictly increasing;
+/// * stored values may be zero only transiently (constructors drop them).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Csr {
+    rows: usize,
+    cols: usize,
+    indptr: Vec<usize>,
+    indices: Vec<usize>,
+    values: Vec<f64>,
+}
+
+impl Csr {
+    /// Build from raw CSR arrays.
+    ///
+    /// # Panics
+    /// Panics (debug and release) if the CSR invariants are violated —
+    /// this is an internal constructor used by [`crate::Coo::to_csr`] and
+    /// trusted transformation code.
+    pub fn from_raw_parts(
+        rows: usize,
+        cols: usize,
+        indptr: Vec<usize>,
+        indices: Vec<usize>,
+        values: Vec<f64>,
+    ) -> Self {
+        assert_eq!(indptr.len(), rows + 1, "indptr length");
+        assert_eq!(indptr[0], 0, "indptr must start at 0");
+        assert_eq!(*indptr.last().unwrap(), indices.len(), "indptr end");
+        assert_eq!(indices.len(), values.len(), "indices/values length");
+        for r in 0..rows {
+            assert!(indptr[r] <= indptr[r + 1], "indptr monotone");
+            let cols_r = &indices[indptr[r]..indptr[r + 1]];
+            for w in cols_r.windows(2) {
+                assert!(w[0] < w[1], "row {r}: columns not strictly increasing");
+            }
+            if let Some(&last) = cols_r.last() {
+                assert!(last < cols, "row {r}: column out of range");
+            }
+        }
+        Csr {
+            rows,
+            cols,
+            indptr,
+            indices,
+            values,
+        }
+    }
+
+    /// An empty (all-zero) `rows x cols` matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Csr {
+            rows,
+            cols,
+            indptr: vec![0; rows + 1],
+            indices: vec![],
+            values: vec![],
+        }
+    }
+
+    /// Sparse identity.
+    pub fn identity(n: usize) -> Self {
+        Csr {
+            rows: n,
+            cols: n,
+            indptr: (0..=n).collect(),
+            indices: (0..n).collect(),
+            values: vec![1.0; n],
+        }
+    }
+
+    /// Convert a dense matrix, keeping entries with `|v| > threshold`.
+    pub fn from_dense(m: &Mat, threshold: f64) -> Self {
+        let mut indptr = Vec::with_capacity(m.rows() + 1);
+        indptr.push(0);
+        let mut indices = Vec::new();
+        let mut values = Vec::new();
+        for i in 0..m.rows() {
+            for (j, &v) in m.row(i).iter().enumerate() {
+                if v.abs() > threshold {
+                    indices.push(j);
+                    values.push(v);
+                }
+            }
+            indptr.push(indices.len());
+        }
+        Csr {
+            rows: m.rows(),
+            cols: m.cols(),
+            indptr,
+            indices,
+            values,
+        }
+    }
+
+    /// Materialise as dense.
+    pub fn to_dense(&self) -> Mat {
+        let mut m = Mat::zeros(self.rows, self.cols);
+        for i in 0..self.rows {
+            let (cols, vals) = self.row(i);
+            let dst = m.row_mut(i);
+            for (&j, &v) in cols.iter().zip(vals) {
+                dst[j] = v;
+            }
+        }
+        m
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)`.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Number of stored entries.
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Column indices and values of row `i`.
+    ///
+    /// # Panics
+    /// Panics if `i >= rows`.
+    pub fn row(&self, i: usize) -> (&[usize], &[f64]) {
+        assert!(i < self.rows, "row index out of bounds");
+        let span = self.indptr[i]..self.indptr[i + 1];
+        (&self.indices[span.clone()], &self.values[span])
+    }
+
+    /// Entry lookup by binary search within the row — `O(log nnz_row)`.
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        let (cols, vals) = self.row(i);
+        match cols.binary_search(&j) {
+            Ok(pos) => vals[pos],
+            Err(_) => 0.0,
+        }
+    }
+
+    /// Sparse matrix × dense vector.
+    ///
+    /// # Panics
+    /// Panics if `x.len() != cols`.
+    pub fn spmv(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.cols, "spmv: dimension mismatch");
+        let mut y = vec![0.0; self.rows];
+        for (i, yi) in y.iter_mut().enumerate() {
+            let (cols, vals) = self.row(i);
+            *yi = cols.iter().zip(vals).map(|(&j, &v)| v * x[j]).sum();
+        }
+        y
+    }
+
+    /// Sparse × dense product `self * B` — the workhorse for `R * G`
+    /// when `R` is kept sparse.
+    ///
+    /// # Panics
+    /// Panics if `self.cols != b.rows()`.
+    pub fn mul_dense(&self, b: &Mat) -> Mat {
+        assert_eq!(self.cols, b.rows(), "mul_dense: dimension mismatch");
+        let mut out = Mat::zeros(self.rows, b.cols());
+        for i in 0..self.rows {
+            let (cols, vals) = self.row(i);
+            let orow = out.row_mut(i);
+            for (&j, &v) in cols.iter().zip(vals) {
+                let brow = b.row(j);
+                for (o, &bv) in orow.iter_mut().zip(brow) {
+                    *o += v * bv;
+                }
+            }
+        }
+        out
+    }
+
+    /// Transpose (CSR → CSR of the transpose) in `O(nnz + rows + cols)`.
+    pub fn transpose(&self) -> Csr {
+        let mut counts = vec![0usize; self.cols + 1];
+        for &j in &self.indices {
+            counts[j + 1] += 1;
+        }
+        for c in 0..self.cols {
+            counts[c + 1] += counts[c];
+        }
+        let indptr = counts.clone();
+        let mut indices = vec![0usize; self.nnz()];
+        let mut values = vec![0.0; self.nnz()];
+        let mut next = counts;
+        for i in 0..self.rows {
+            let (cols, vals) = self.row(i);
+            for (&j, &v) in cols.iter().zip(vals) {
+                let pos = next[j];
+                indices[pos] = i;
+                values[pos] = v;
+                next[j] += 1;
+            }
+        }
+        Csr {
+            rows: self.cols,
+            cols: self.rows,
+            indptr,
+            indices,
+            values,
+        }
+    }
+
+    /// Row sums.
+    pub fn row_sums(&self) -> Vec<f64> {
+        (0..self.rows)
+            .map(|i| self.row(i).1.iter().sum())
+            .collect()
+    }
+
+    /// Column sums.
+    pub fn col_sums(&self) -> Vec<f64> {
+        let mut s = vec![0.0; self.cols];
+        for i in 0..self.rows {
+            let (cols, vals) = self.row(i);
+            for (&j, &v) in cols.iter().zip(vals) {
+                s[j] += v;
+            }
+        }
+        s
+    }
+
+    /// Sum of all entries.
+    pub fn sum(&self) -> f64 {
+        self.values.iter().sum()
+    }
+
+    /// Scale every stored value in place.
+    pub fn scale_inplace(&mut self, s: f64) {
+        for v in &mut self.values {
+            *v *= s;
+        }
+    }
+
+    /// Drop stored entries with `|v| <= tol`, compacting storage.
+    pub fn prune(&self, tol: f64) -> Csr {
+        let mut indptr = Vec::with_capacity(self.rows + 1);
+        indptr.push(0);
+        let mut indices = Vec::new();
+        let mut values = Vec::new();
+        for i in 0..self.rows {
+            let (cols, vals) = self.row(i);
+            for (&j, &v) in cols.iter().zip(vals) {
+                if v.abs() > tol {
+                    indices.push(j);
+                    values.push(v);
+                }
+            }
+            indptr.push(indices.len());
+        }
+        Csr {
+            rows: self.rows,
+            cols: self.cols,
+            indptr,
+            indices,
+            values,
+        }
+    }
+
+    /// Elementwise maximum with the transpose: `max(A, Aᵀ)` — the standard
+    /// symmetrisation of a pNN graph (Eq. 3's "or" rule: an edge exists if
+    /// either endpoint selects the other).
+    ///
+    /// # Panics
+    /// Panics if the matrix is not square.
+    pub fn max_symmetrize(&self) -> Csr {
+        assert_eq!(self.rows, self.cols, "max_symmetrize requires square");
+        let t = self.transpose();
+        let mut builder = crate::Coo::with_capacity(self.rows, self.cols, self.nnz() * 2);
+        for i in 0..self.rows {
+            let (ca, va) = self.row(i);
+            let (cb, vb) = t.row(i);
+            // Merge two sorted runs taking elementwise max.
+            let (mut p, mut q) = (0, 0);
+            while p < ca.len() || q < cb.len() {
+                if q >= cb.len() || (p < ca.len() && ca[p] < cb[q]) {
+                    builder.push(i, ca[p], va[p]);
+                    p += 1;
+                } else if p >= ca.len() || cb[q] < ca[p] {
+                    builder.push(i, cb[q], vb[q]);
+                    q += 1;
+                } else {
+                    builder.push(i, ca[p], va[p].max(vb[q]));
+                    p += 1;
+                    q += 1;
+                }
+            }
+        }
+        builder.to_csr()
+    }
+
+    /// `true` if `self` equals its transpose up to `tol`.
+    pub fn is_symmetric(&self, tol: f64) -> bool {
+        if self.rows != self.cols {
+            return false;
+        }
+        let t = self.transpose();
+        if t.indptr != self.indptr || t.indices != self.indices {
+            // Different sparsity patterns can still be numerically
+            // symmetric if the asymmetric entries are < tol; fall back to
+            // a value-level comparison.
+            for i in 0..self.rows {
+                let (cols, vals) = self.row(i);
+                for (&j, &v) in cols.iter().zip(vals) {
+                    if (v - t.get(i, j)).abs() > tol {
+                        return false;
+                    }
+                }
+                let (tcols, tvals) = t.row(i);
+                for (&j, &v) in tcols.iter().zip(tvals) {
+                    if (v - self.get(i, j)).abs() > tol {
+                        return false;
+                    }
+                }
+            }
+            return true;
+        }
+        self.values
+            .iter()
+            .zip(&t.values)
+            .all(|(a, b)| (a - b).abs() <= tol)
+    }
+
+    /// Iterate over all `(row, col, value)` triplets in row-major order.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, usize, f64)> + '_ {
+        (0..self.rows).flat_map(move |i| {
+            let (cols, vals) = self.row(i);
+            cols.iter().zip(vals).map(move |(&j, &v)| (i, j, v))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Coo;
+    use mtrl_linalg::ops::matmul;
+    use mtrl_linalg::random::rand_uniform;
+
+    fn random_sparse(rows: usize, cols: usize, density: f64, seed: u64) -> Csr {
+        let dense = rand_uniform(rows, cols, -1.0, 1.0, seed);
+        let mask = rand_uniform(rows, cols, 0.0, 1.0, seed + 1);
+        let mut c = Coo::new(rows, cols);
+        for i in 0..rows {
+            for j in 0..cols {
+                if mask[(i, j)] < density {
+                    c.push(i, j, dense[(i, j)]);
+                }
+            }
+        }
+        c.to_csr()
+    }
+
+    #[test]
+    fn dense_roundtrip() {
+        let m = rand_uniform(9, 7, -1.0, 1.0, 50);
+        let s = Csr::from_dense(&m, 0.0);
+        assert!(s.to_dense().approx_eq(&m, 0.0));
+        assert_eq!(s.nnz(), 63);
+    }
+
+    #[test]
+    fn from_dense_thresholds() {
+        let m = Mat::from_vec(1, 3, vec![0.05, -0.5, 0.0]).unwrap();
+        let s = Csr::from_dense(&m, 0.1);
+        assert_eq!(s.nnz(), 1);
+        assert_eq!(s.get(0, 1), -0.5);
+    }
+
+    #[test]
+    fn identity_spmv() {
+        let i = Csr::identity(4);
+        let x = vec![1.0, 2.0, 3.0, 4.0];
+        assert_eq!(i.spmv(&x), x);
+    }
+
+    #[test]
+    fn spmv_matches_dense() {
+        let s = random_sparse(20, 15, 0.3, 51);
+        let d = s.to_dense();
+        let x: Vec<f64> = (0..15).map(|i| (i as f64) * 0.5 - 3.0).collect();
+        let ys = s.spmv(&x);
+        let yd = mtrl_linalg::ops::matvec(&d, &x).unwrap();
+        for (a, b) in ys.iter().zip(&yd) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn mul_dense_matches_dense() {
+        let s = random_sparse(12, 10, 0.4, 52);
+        let b = rand_uniform(10, 6, -1.0, 1.0, 53);
+        let fast = s.mul_dense(&b);
+        let slow = matmul(&s.to_dense(), &b).unwrap();
+        assert!(fast.approx_eq(&slow, 1e-12));
+    }
+
+    #[test]
+    fn transpose_roundtrip() {
+        let s = random_sparse(8, 13, 0.35, 54);
+        let tt = s.transpose().transpose();
+        assert_eq!(s, tt);
+        assert!(s
+            .transpose()
+            .to_dense()
+            .approx_eq(&s.to_dense().transpose(), 0.0));
+    }
+
+    #[test]
+    fn sums() {
+        let mut c = Coo::new(2, 3);
+        c.push(0, 0, 1.0);
+        c.push(0, 2, 2.0);
+        c.push(1, 1, 4.0);
+        let s = c.to_csr();
+        assert_eq!(s.row_sums(), vec![3.0, 4.0]);
+        assert_eq!(s.col_sums(), vec![1.0, 4.0, 2.0]);
+        assert_eq!(s.sum(), 7.0);
+    }
+
+    #[test]
+    fn prune_drops_small() {
+        let mut c = Coo::new(1, 3);
+        c.push(0, 0, 1e-12);
+        c.push(0, 1, 0.5);
+        c.push(0, 2, -1e-12);
+        let s = c.to_csr().prune(1e-9);
+        assert_eq!(s.nnz(), 1);
+        assert_eq!(s.get(0, 1), 0.5);
+    }
+
+    #[test]
+    fn max_symmetrize_properties() {
+        let s = random_sparse(10, 10, 0.2, 55).prune(0.0);
+        // Make values nonnegative (graph weights).
+        let mut c = Coo::new(10, 10);
+        for (i, j, v) in s.iter() {
+            c.push(i, j, v.abs());
+        }
+        let g = c.to_csr();
+        let sym = g.max_symmetrize();
+        assert!(sym.is_symmetric(1e-12));
+        // Every original edge survives with weight >= original.
+        for (i, j, v) in g.iter() {
+            assert!(sym.get(i, j) >= v - 1e-15);
+            assert!(sym.get(j, i) >= v - 1e-15);
+        }
+    }
+
+    #[test]
+    fn is_symmetric_negative_case() {
+        let mut c = Coo::new(2, 2);
+        c.push(0, 1, 1.0);
+        assert!(!c.to_csr().is_symmetric(1e-12));
+        let mut c2 = Coo::new(2, 2);
+        c2.push(0, 1, 1.0);
+        c2.push(1, 0, 1.0);
+        assert!(c2.to_csr().is_symmetric(1e-12));
+    }
+
+    #[test]
+    fn scale_inplace_works() {
+        let mut s = Csr::identity(3);
+        s.scale_inplace(2.5);
+        assert_eq!(s.get(1, 1), 2.5);
+    }
+
+    #[test]
+    fn iter_yields_all_triplets() {
+        let s = random_sparse(6, 6, 0.5, 56);
+        let collected: Vec<_> = s.iter().collect();
+        assert_eq!(collected.len(), s.nnz());
+        for (i, j, v) in collected {
+            assert_eq!(s.get(i, j), v);
+        }
+    }
+
+    #[test]
+    fn get_missing_is_zero() {
+        let s = Csr::zeros(3, 3);
+        assert_eq!(s.get(2, 2), 0.0);
+        assert_eq!(s.nnz(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "columns not strictly increasing")]
+    fn invariant_violation_panics() {
+        Csr::from_raw_parts(1, 3, vec![0, 2], vec![1, 1], vec![1.0, 2.0]);
+    }
+}

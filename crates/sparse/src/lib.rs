@@ -1,0 +1,20 @@
+//! # mtrl-sparse
+//!
+//! Sparse matrix substrate for the RHCHME reproduction.
+//!
+//! The inter-type relationship matrix `R` (Section I-A) and the pNN graphs
+//! (Eq. 3) are sparse by construction: document–term co-occurrence is
+//! mostly zeros and a pNN graph has at most `2pn` edges. The complexity
+//! analysis in Section III-F depends on `z = nnz(R)`, so the harness needs
+//! a real sparse representation to honour it.
+//!
+//! Two types:
+//! * [`Coo`] — a triplet builder (push `(i, j, v)` in any order);
+//! * [`Csr`] — compressed sparse row storage with the products the engine
+//!   needs (`spmv`, CSR×dense, transpose, row reductions).
+
+pub mod coo;
+pub mod csr;
+
+pub use coo::Coo;
+pub use csr::Csr;

