@@ -128,7 +128,12 @@ fn main() {
     let spg_purity = purity(&|i, j| 0.5 * (spg_s.w[(i, j)] + spg_s.w[(j, i)]));
 
     print_table(
-        &["diagnostic", "pNN graph", "subspace learning", "paper's claim"],
+        &[
+            "diagnostic",
+            "pNN graph",
+            "subspace learning",
+            "paper's claim",
+        ],
         &[
             vec![
                 "circles: cross-manifold mass at intersection".into(),

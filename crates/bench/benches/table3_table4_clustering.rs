@@ -71,7 +71,7 @@ fn main() {
                 row.push(format!("({:.3})", reference[m][d]));
             }
             row.push(format!("{:.3}", mean(&vals)));
-            row.push(format!("({:.3})", mean(&reference[m].to_vec())));
+            row.push(format!("({:.3})", mean(&reference[m])));
             rows.push(row);
         }
         print_table(

@@ -42,8 +42,8 @@ fn main() {
     let mut rows = Vec::new();
     for (m, name) in paper::METHODS.iter().enumerate() {
         let mut row = vec![name.to_string()];
-        for d in 0..4 {
-            row.push(format!("{:.2}s", seconds[m][d]));
+        for (d, secs) in seconds[m].iter().enumerate() {
+            row.push(format!("{secs:.2}s"));
             row.push(format!("({}ks)", paper::RUNTIME_KS[m][d]));
         }
         rows.push(row);

@@ -102,10 +102,7 @@ pub struct DrccResult {
 }
 
 /// Build the DRCC input matrix for a variant from a corpus.
-pub fn variant_matrix(
-    corpus: &mtrl_datagen::MultiTypeCorpus,
-    variant: DrccVariant,
-) -> Mat {
+pub fn variant_matrix(corpus: &mtrl_datagen::MultiTypeCorpus, variant: DrccVariant) -> Mat {
     match variant {
         DrccVariant::Terms => corpus.doc_term.to_dense(),
         DrccVariant::Concepts => corpus.doc_concept.to_dense(),
@@ -178,13 +175,7 @@ pub fn run_drcc(r: &Mat, cfg: &DrccConfig) -> Result<DrccResult> {
         let sffs = matmul(&matmul(&s, &gram_f)?, &s.transpose())?; // cg x cg
         let (sffs_p, sffs_n) = split_parts(&sffs);
         update_factor(
-            &mut g,
-            &rfst,
-            &sffs_p,
-            &sffs_n,
-            &lg_pos,
-            &lg_neg,
-            cfg.lambda,
+            &mut g, &rfst, &sffs_p, &sffs_n, &lg_pos, &lg_neg, cfg.lambda,
         )?;
         if g.has_non_finite() {
             return Err(RhchmeError::Diverged { iteration: t });
@@ -205,9 +196,8 @@ pub fn run_drcc(r: &Mat, cfg: &DrccConfig) -> Result<DrccResult> {
         let fit = frobenius_sq_diff(r, &recon);
         let lg_g = matmul(&l_g, &g)?;
         let lf_f = matmul(&l_f, &f)?;
-        let obj = fit
-            + cfg.lambda * trace_product_tn(&lg_g, &g)?
-            + cfg.mu * trace_product_tn(&lf_f, &f)?;
+        let obj =
+            fit + cfg.lambda * trace_product_tn(&lg_g, &g)? + cfg.mu * trace_product_tn(&lf_f, &f)?;
         objective_trace.push(obj);
         if cfg.record_doc_labels {
             label_trace.push(argmax_labels(&g));

@@ -328,7 +328,11 @@ pub fn run_engine(
             Some(l) => l.trace_quad(&g)?,
             None => 0.0,
         };
-        let l21_term = if cfg.use_error_matrix { cfg.beta * l21 } else { 0.0 };
+        let l21_term = if cfg.use_error_matrix {
+            cfg.beta * l21
+        } else {
+            0.0
+        };
         let obj = fit + l21_term + cfg.lambda * reg_term;
         objective_trace.push(obj);
 

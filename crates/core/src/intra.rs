@@ -138,8 +138,7 @@ mod tests {
     #[test]
     fn pnn_block_layout() {
         let f = toy_features();
-        let l = pnn_laplacians(&f, 3, WeightScheme::Cosine, LaplacianKind::SymNormalized)
-            .unwrap();
+        let l = pnn_laplacians(&f, 3, WeightScheme::Cosine, LaplacianKind::SymNormalized).unwrap();
         assert_eq!(l.num_blocks(), 2);
         assert_eq!(l.n(), 27);
         // Normalised Laplacian diagonals are <= 1.
@@ -169,10 +168,8 @@ mod tests {
     #[test]
     fn hetero_combination_matches_blocks() {
         let f = toy_features();
-        let le = pnn_laplacians(&f, 3, WeightScheme::Cosine, LaplacianKind::SymNormalized)
-            .unwrap();
-        let ls = pnn_laplacians(&f, 4, WeightScheme::Binary, LaplacianKind::SymNormalized)
-            .unwrap();
+        let le = pnn_laplacians(&f, 3, WeightScheme::Cosine, LaplacianKind::SymNormalized).unwrap();
+        let ls = pnn_laplacians(&f, 4, WeightScheme::Binary, LaplacianKind::SymNormalized).unwrap();
         let combo = hetero_laplacian(&ls, &le, 2.0).unwrap();
         for k in 0..2 {
             let expect = le.block(k).add(&ls.block(k).scaled(2.0)).unwrap();

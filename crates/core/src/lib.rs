@@ -19,7 +19,10 @@
 //! * [`baselines`] — SRC, SNMTF, RMC and DRCC (DR-T/DR-C/DR-TC), the
 //!   comparison suite of Sec. IV-B;
 //! * [`pipeline`] — one-call runners with artifact caching, used by the
-//!   table/figure benches.
+//!   table/figure benches;
+//! * [`export`] — the serving-ready [`FittedModel`] bundle (per-type
+//!   membership blocks, association matrix `S`, feature centroids)
+//!   consumed by the `mtrl-serve` crate for out-of-sample fold-in.
 //!
 //! ## Quickstart
 //!
@@ -37,6 +40,7 @@
 pub mod baselines;
 pub mod engine;
 pub mod error;
+pub mod export;
 pub mod intra;
 pub mod kmeans;
 pub mod multitype;
@@ -44,6 +48,7 @@ pub mod pipeline;
 pub mod rhchme;
 
 pub use error::RhchmeError;
+pub use export::{FittedModel, SCHEMA_VERSION};
 pub use multitype::MultiTypeData;
 pub use pipeline::{run_method, Method, MethodOutput};
 pub use rhchme::{Rhchme, RhchmeConfig, RhchmeResult};

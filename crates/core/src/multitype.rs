@@ -115,11 +115,7 @@ impl MultiTypeData {
         let div = feature_cluster_divisor.max(1);
         let clamp = |m: usize| (m / div).clamp(2, 30);
         MultiTypeData::new(
-            vec![
-                corpus.num_docs(),
-                corpus.num_terms(),
-                corpus.num_concepts(),
-            ],
+            vec![corpus.num_docs(), corpus.num_terms(), corpus.num_concepts()],
             vec![
                 corpus.num_classes,
                 clamp(corpus.num_terms()),
@@ -209,10 +205,7 @@ impl MultiTypeData {
                 blocks.push(dense);
             }
         }
-        assert!(
-            !blocks.is_empty(),
-            "type {k} participates in no relations"
-        );
+        assert!(!blocks.is_empty(), "type {k} participates in no relations");
         let mut out = blocks[0].clone();
         for b in &blocks[1..] {
             out = out.hstack(b).expect("row counts agree by construction");
@@ -325,27 +318,16 @@ mod tests {
         assert!(MultiTypeData::new(vec![5], vec![2], vec![]).is_err());
         // Bad cluster count.
         let r = small_relation(5, 6, 1);
-        assert!(
-            MultiTypeData::new(vec![5, 6], vec![1, 2], vec![(0, 1, r.clone())]).is_err()
-        );
-        assert!(
-            MultiTypeData::new(vec![5, 6], vec![2, 7], vec![(0, 1, r.clone())]).is_err()
-        );
+        assert!(MultiTypeData::new(vec![5, 6], vec![1, 2], vec![(0, 1, r.clone())]).is_err());
+        assert!(MultiTypeData::new(vec![5, 6], vec![2, 7], vec![(0, 1, r.clone())]).is_err());
         // Relation shape mismatch.
-        assert!(
-            MultiTypeData::new(vec![6, 6], vec![2, 2], vec![(0, 1, r.clone())]).is_err()
-        );
+        assert!(MultiTypeData::new(vec![6, 6], vec![2, 2], vec![(0, 1, r.clone())]).is_err());
         // Out-of-order key.
-        assert!(
-            MultiTypeData::new(vec![6, 5], vec![2, 2], vec![(1, 0, r.clone())]).is_err()
-        );
+        assert!(MultiTypeData::new(vec![6, 5], vec![2, 2], vec![(1, 0, r.clone())]).is_err());
         // Duplicate.
-        assert!(MultiTypeData::new(
-            vec![5, 6],
-            vec![2, 2],
-            vec![(0, 1, r.clone()), (0, 1, r)]
-        )
-        .is_err());
+        assert!(
+            MultiTypeData::new(vec![5, 6], vec![2, 2], vec![(0, 1, r.clone()), (0, 1, r)]).is_err()
+        );
         // Empty relations.
         assert!(MultiTypeData::new(vec![5, 6], vec![2, 2], vec![]).is_err());
     }

@@ -107,6 +107,9 @@ pub struct PipelineParams {
     pub seed: u64,
     /// Record per-iteration document labels (Fig. 3).
     pub record_doc_labels: bool,
+    /// Export a serving-ready [`crate::FittedModel`] with the result
+    /// (RHCHME only; other methods ignore this flag).
+    pub export_model: bool,
 }
 
 impl Default for PipelineParams {
@@ -126,6 +129,7 @@ impl Default for PipelineParams {
             feature_cluster_divisor: 20,
             seed: 2015,
             record_doc_labels: false,
+            export_model: false,
         }
     }
 }
@@ -147,6 +151,9 @@ pub struct MethodOutput {
     pub iterations: usize,
     /// Whether the tolerance was met.
     pub converged: bool,
+    /// Serving-ready export of the fitted model (present only when
+    /// [`PipelineParams::export_model`] is set and the method supports it).
+    pub model: Option<crate::FittedModel>,
 }
 
 /// Run one method end to end on a corpus.
@@ -190,6 +197,7 @@ pub fn run_method(
                 elapsed: start.elapsed(),
                 iterations: res.iterations,
                 converged: res.converged,
+                model: None,
             }
         }
         Method::Src => {
@@ -252,18 +260,24 @@ pub fn run_method(
                 record_doc_labels: params.record_doc_labels,
                 ..RhchmeConfig::default()
             });
-            let res = model.fit_corpus(corpus)?;
-            to_output(method, res, start)
+            // Assemble the multi-type data once and share it between the
+            // fit and the export (export_model would rebuild it).
+            let data = MultiTypeData::from_corpus(corpus, params.feature_cluster_divisor)?;
+            let res = model.fit_data(&data)?;
+            let exported = if params.export_model {
+                Some(model.export_model_from_data(&res, &data)?)
+            } else {
+                None
+            };
+            let mut out = to_output(method, res, start);
+            out.model = exported;
+            out
         }
     };
     Ok(out)
 }
 
-fn to_output(
-    method: Method,
-    res: crate::rhchme::RhchmeResult,
-    start: Instant,
-) -> MethodOutput {
+fn to_output(method: Method, res: crate::rhchme::RhchmeResult, start: Instant) -> MethodOutput {
     MethodOutput {
         method,
         doc_labels: res.doc_labels,
@@ -272,6 +286,7 @@ fn to_output(
         elapsed: start.elapsed(),
         iterations: res.iterations,
         converged: res.converged,
+        model: None,
     }
 }
 
@@ -326,7 +341,12 @@ impl Artifacts {
     ///
     /// # Errors
     /// Propagates SPG failures.
-    pub fn subspace_laplacian(&self, gamma: f64, spg_max_iter: usize, seed: u64) -> Result<BlockDiag> {
+    pub fn subspace_laplacian(
+        &self,
+        gamma: f64,
+        spg_max_iter: usize,
+        seed: u64,
+    ) -> Result<BlockDiag> {
         subspace_laplacians(
             &self.features,
             &SpgConfig {

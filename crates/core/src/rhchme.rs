@@ -13,6 +13,7 @@
 //!    error matrix `E_R`, row-ℓ1 normalised `G`.
 
 use crate::engine::{run_engine, EngineConfig, EngineResult, GraphRegularizer};
+use crate::export::FittedModel;
 use crate::intra::{hetero_laplacian, pnn_laplacians, subspace_laplacians};
 use crate::kmeans::{kmeans, labels_to_membership};
 use crate::multitype::MultiTypeData;
@@ -35,7 +36,7 @@ use mtrl_subspace::SpgConfig;
 /// Likewise γ trades reconstruction against the `‖WWᵀ‖₁` sparsity on
 /// unit-norm rows, shifting its sweet spot from ~25 to ~5. The Fig. 2
 /// bench sweeps both grids and EXPERIMENTS.md records the mapping.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
 pub struct RhchmeConfig {
     /// Laplacian regularisation weight λ.
     pub lambda: f64,
@@ -182,6 +183,35 @@ impl Rhchme {
         };
         let engine_out = run_engine(&r, data, &GraphRegularizer::Fixed(l), g0, &engine_cfg)?;
         Ok(package_result(data, engine_out))
+    }
+
+    /// Export a fitted result as a serving-ready [`FittedModel`]
+    /// (membership blocks, association matrix, feature centroids) for the
+    /// corpus it was fitted on.
+    ///
+    /// # Errors
+    /// Propagates data-assembly errors and shape mismatches between
+    /// `result` and the corpus layout.
+    pub fn export_model(
+        &self,
+        result: &RhchmeResult,
+        corpus: &mtrl_datagen::MultiTypeCorpus,
+    ) -> Result<FittedModel> {
+        let data = MultiTypeData::from_corpus(corpus, self.config.feature_cluster_divisor)?;
+        self.export_model_from_data(result, &data)
+    }
+
+    /// [`Self::export_model`] for arbitrary K-type relational data.
+    ///
+    /// # Errors
+    /// Returns [`crate::RhchmeError::InvalidData`] when `result` does not
+    /// match `data`'s block layout.
+    pub fn export_model_from_data(
+        &self,
+        result: &RhchmeResult,
+        data: &MultiTypeData,
+    ) -> Result<FittedModel> {
+        crate::export::build_model(self.config.clone(), result, data)
     }
 }
 

@@ -131,8 +131,14 @@ impl MultiTypeCorpus {
 pub fn generate(cfg: &CorpusConfig) -> MultiTypeCorpus {
     let k = cfg.docs_per_class.len();
     assert!(k >= 2, "need at least 2 classes");
-    assert!(cfg.vocab_size >= 4 * k, "vocabulary too small for {k} classes");
-    assert!(cfg.concept_count >= k, "need at least one concept per class");
+    assert!(
+        cfg.vocab_size >= 4 * k,
+        "vocabulary too small for {k} classes"
+    );
+    assert!(
+        cfg.concept_count >= k,
+        "need at least one concept per class"
+    );
     assert!(
         (0.0..=1.0).contains(&cfg.topic_noise)
             && (0.0..=1.0).contains(&cfg.concept_map_noise)
@@ -199,9 +205,7 @@ pub fn generate(cfg: &CorpusConfig) -> MultiTypeCorpus {
 
     // True term -> concept mapping: concepts tile the vocabulary in order,
     // so anchor blocks map to class-correlated concept groups.
-    let true_concept: Vec<usize> = (0..v)
-        .map(|t| (t * cfg.concept_count) / v)
-        .collect();
+    let true_concept: Vec<usize> = (0..v).map(|t| (t * cfg.concept_count) / v).collect();
     // Concept "semantic relatedness" weights (refs [13, 32]) in [0.5, 1].
     let relatedness: Vec<f64> = (0..cfg.concept_count)
         .map(|_| rng.gen_range(0.5..1.0))
@@ -460,10 +464,16 @@ mod tests {
             mtrl_linalg::vecops::mean(&sims)
         };
         let corrupt_mean = mtrl_linalg::vecops::mean(
-            &c.corrupted_docs.iter().map(|&d| mean_sim_to_class(d)).collect::<Vec<_>>(),
+            &c.corrupted_docs
+                .iter()
+                .map(|&d| mean_sim_to_class(d))
+                .collect::<Vec<_>>(),
         );
         let clean_mean = mtrl_linalg::vecops::mean(
-            &clean.iter().map(|&d| mean_sim_to_class(d)).collect::<Vec<_>>(),
+            &clean
+                .iter()
+                .map(|&d| mean_sim_to_class(d))
+                .collect::<Vec<_>>(),
         );
         assert!(
             corrupt_mean < clean_mean,

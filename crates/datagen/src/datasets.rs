@@ -141,9 +141,7 @@ fn skewed_sizes(k: usize, lo: usize, hi: usize) -> Vec<usize> {
 
 /// Zipf-like decaying sizes: class `i` gets `max(largest / (i+1), floor)`.
 fn zipf_sizes(k: usize, largest: usize, floor: usize) -> Vec<usize> {
-    (0..k)
-        .map(|i| (largest / (i + 1)).max(floor))
-        .collect()
+    (0..k).map(|i| (largest / (i + 1)).max(floor)).collect()
 }
 
 #[cfg(test)]

@@ -17,7 +17,9 @@
 //!   raw counts;
 //! * [`manifold`] — the Fig. 1 toy geometries (two intersecting circles,
 //!   unions of linear subspaces);
-//! * [`noise`] — corruption injectors used by the robustness experiments.
+//! * [`noise`] — corruption injectors used by the robustness experiments;
+//! * [`split`] — train / held-out document splitting for out-of-sample
+//!   serving experiments.
 //!
 //! Everything is seeded and deterministic.
 
@@ -25,7 +27,9 @@ pub mod corpus;
 pub mod datasets;
 pub mod manifold;
 pub mod noise;
+pub mod split;
 
 pub use corpus::{CorpusConfig, MultiTypeCorpus};
 pub use datasets::{DatasetId, Scale};
 pub use manifold::{two_circles, union_of_subspaces};
+pub use split::{split_corpus, HeldOutDoc};

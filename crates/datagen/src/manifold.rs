@@ -35,7 +35,7 @@ pub fn two_circles(
     let mut labels = Vec::with_capacity(2 * n_per_circle + n_noise);
     for (c, &(cx, cy)) in centers.iter().enumerate() {
         for i in 0..n_per_circle {
-            let theta = 2.0 * std::f64::consts::PI * (i as f64) / (n_per_circle as f64)
+            let theta: f64 = 2.0 * std::f64::consts::PI * (i as f64) / (n_per_circle as f64)
                 + rng.gen_range(0.0..0.05);
             let x = cx + radius * theta.cos() + noise_std * gauss.next(&mut rng);
             let y = cy + radius * theta.sin() + noise_std * gauss.next(&mut rng);
@@ -162,7 +162,7 @@ mod tests {
         for s in 0..3 {
             assert_eq!(labels.iter().filter(|&&l| l == s).count(), 30);
         }
-        assert!(pts.rows_iter().all(|r| norm2(r) > 0.0 || true));
+        assert!(pts.rows_iter().all(|r| norm2(r) > 0.0));
     }
 
     #[test]

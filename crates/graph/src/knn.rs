@@ -66,9 +66,7 @@ pub fn pnn_graph(data: &Mat, p: usize, scheme: WeightScheme) -> Csr {
     let n = data.rows();
     let neighbours = knn_indices(data, p);
     let sigma = match scheme {
-        WeightScheme::HeatKernel { sigma } if sigma <= 0.0 => {
-            self_tuning_sigma(data, &neighbours)
-        }
+        WeightScheme::HeatKernel { sigma } if sigma <= 0.0 => self_tuning_sigma(data, &neighbours),
         WeightScheme::HeatKernel { sigma } => sigma,
         _ => 1.0,
     };

@@ -21,6 +21,7 @@ pub mod components;
 pub mod ensemble;
 pub mod knn;
 pub mod laplacian;
+mod serde_impl;
 
 pub use ensemble::{hetero_ensemble, linear_combination};
 pub use knn::{knn_indices, pnn_graph, WeightScheme};

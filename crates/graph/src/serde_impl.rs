@@ -1,0 +1,107 @@
+//! Serde support for the graph configuration enums.
+//!
+//! Hand-written because [`WeightScheme::HeatKernel`] carries data, which
+//! the vendored derive does not cover. Fieldless variants serialize as
+//! their name string; `HeatKernel` as `{"kind": "HeatKernel", "sigma": σ}`.
+
+use crate::knn::WeightScheme;
+use crate::laplacian::LaplacianKind;
+use serde::{Deserialize, Error, Serialize, Value};
+
+impl Serialize for WeightScheme {
+    fn to_value(&self) -> Value {
+        match self {
+            WeightScheme::Binary => Value::String("Binary".into()),
+            WeightScheme::Cosine => Value::String("Cosine".into()),
+            WeightScheme::HeatKernel { sigma } => Value::Object(vec![
+                ("kind".to_string(), Value::String("HeatKernel".into())),
+                ("sigma".to_string(), sigma.to_value()),
+            ]),
+        }
+    }
+}
+
+impl Deserialize for WeightScheme {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::String(s) => match s.as_str() {
+                "Binary" => Ok(WeightScheme::Binary),
+                "Cosine" => Ok(WeightScheme::Cosine),
+                other => Err(Error(format!("unknown WeightScheme `{other}`"))),
+            },
+            Value::Object(_) => {
+                let kind = v
+                    .get_field("kind")?
+                    .as_str()
+                    .unwrap_or_default()
+                    .to_string();
+                if kind != "HeatKernel" {
+                    return Err(Error(format!("unknown WeightScheme kind `{kind}`")));
+                }
+                Ok(WeightScheme::HeatKernel {
+                    sigma: f64::from_value(v.get_field("sigma")?)?,
+                })
+            }
+            other => Err(Error(format!(
+                "expected a WeightScheme string or object, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl Serialize for LaplacianKind {
+    fn to_value(&self) -> Value {
+        Value::String(
+            match self {
+                LaplacianKind::Unnormalized => "Unnormalized",
+                LaplacianKind::SymNormalized => "SymNormalized",
+            }
+            .to_string(),
+        )
+    }
+}
+
+impl Deserialize for LaplacianKind {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v.as_str() {
+            Some("Unnormalized") => Ok(LaplacianKind::Unnormalized),
+            Some("SymNormalized") => Ok(LaplacianKind::SymNormalized),
+            Some(other) => Err(Error(format!("unknown LaplacianKind `{other}`"))),
+            None => Err(Error(format!(
+                "expected a LaplacianKind string, found {}",
+                v.kind()
+            ))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schemes_round_trip() {
+        for scheme in [
+            WeightScheme::Binary,
+            WeightScheme::Cosine,
+            WeightScheme::HeatKernel { sigma: 2.5 },
+        ] {
+            let back = WeightScheme::from_value(&scheme.to_value()).unwrap();
+            assert_eq!(back, scheme);
+        }
+    }
+
+    #[test]
+    fn kinds_round_trip() {
+        for kind in [LaplacianKind::Unnormalized, LaplacianKind::SymNormalized] {
+            assert_eq!(LaplacianKind::from_value(&kind.to_value()).unwrap(), kind);
+        }
+    }
+
+    #[test]
+    fn unknown_rejected() {
+        assert!(WeightScheme::from_value(&Value::String("Nope".into())).is_err());
+        assert!(LaplacianKind::from_value(&Value::Number(1.0)).is_err());
+    }
+}

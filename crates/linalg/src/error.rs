@@ -55,7 +55,11 @@ impl fmt::Display for LinalgError {
                 lhs.0, lhs.1, rhs.0, rhs.1
             ),
             LinalgError::NotSquare { op, shape } => {
-                write!(f, "{op}: matrix must be square, got {}x{}", shape.0, shape.1)
+                write!(
+                    f,
+                    "{op}: matrix must be square, got {}x{}",
+                    shape.0, shape.1
+                )
             }
             LinalgError::Singular { op, pivot } => {
                 write!(f, "{op}: singular matrix (pivot {pivot})")
@@ -90,7 +94,10 @@ mod tests {
 
     #[test]
     fn display_singular() {
-        let e = LinalgError::Singular { op: "inverse", pivot: 3 };
+        let e = LinalgError::Singular {
+            op: "inverse",
+            pivot: 3,
+        };
         assert!(e.to_string().contains("singular"));
     }
 

@@ -32,6 +32,7 @@ pub mod norms;
 pub mod ops;
 pub mod parts;
 pub mod random;
+mod serde_impl;
 pub mod simplex;
 pub mod solve;
 pub mod vecops;

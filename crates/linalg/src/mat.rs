@@ -196,7 +196,9 @@ impl Mat {
     /// Panics if `j >= cols`.
     pub fn col(&self, j: usize) -> Vec<f64> {
         assert!(j < self.cols, "column index out of bounds");
-        (0..self.rows).map(|i| self.data[i * self.cols + j]).collect()
+        (0..self.rows)
+            .map(|i| self.data[i * self.cols + j])
+            .collect()
     }
 
     /// Entry accessor with bounds checking in debug builds only.
@@ -430,7 +432,10 @@ impl Mat {
     /// # Panics
     /// Panics if the window exceeds the matrix bounds.
     pub fn submatrix(&self, r0: usize, c0: usize, h: usize, w: usize) -> Mat {
-        assert!(r0 + h <= self.rows && c0 + w <= self.cols, "submatrix out of bounds");
+        assert!(
+            r0 + h <= self.rows && c0 + w <= self.cols,
+            "submatrix out of bounds"
+        );
         let mut out = Mat::zeros(h, w);
         for i in 0..h {
             let src = &self.data[(r0 + i) * self.cols + c0..(r0 + i) * self.cols + c0 + w];

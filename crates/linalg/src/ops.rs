@@ -170,8 +170,7 @@ pub fn matvec(a: &Mat, x: &[f64]) -> Result<Vec<f64>> {
             rhs: (x.len(), 1),
         });
     }
-    Ok(a
-        .rows_iter()
+    Ok(a.rows_iter()
         .map(|row| row.iter().zip(x).map(|(a, b)| a * b).sum())
         .collect())
 }
@@ -293,7 +292,12 @@ fn nt_rows_into(a: &Mat, b: &Mat, chunk: &mut [f64], r0: usize, r1: usize) {
 
 /// Split `out` (an `m x n` row-major buffer) into per-thread row chunks and
 /// run `f(r0, r1, chunk)` on each in parallel.
-fn par_row_chunks(out: &mut [f64], m: usize, n: usize, f: impl Fn(usize, usize, &mut [f64]) + Sync) {
+fn par_row_chunks(
+    out: &mut [f64],
+    m: usize,
+    n: usize,
+    f: impl Fn(usize, usize, &mut [f64]) + Sync,
+) {
     let threads = num_threads().min(m);
     let rows_per = m.div_ceil(threads);
     std::thread::scope(|scope| {

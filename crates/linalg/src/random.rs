@@ -97,7 +97,12 @@ mod tests {
         let m = rand_normal(100, 100, 3.0, 2.0, 7);
         let n = m.len() as f64;
         let mean = m.sum() / n;
-        let var = m.as_slice().iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n;
+        let var = m
+            .as_slice()
+            .iter()
+            .map(|x| (x - mean) * (x - mean))
+            .sum::<f64>()
+            / n;
         assert!((mean - 3.0).abs() < 0.1, "mean {mean}");
         assert!((var - 4.0).abs() < 0.3, "var {var}");
     }
@@ -105,7 +110,7 @@ mod tests {
     #[test]
     fn permutation_is_a_permutation() {
         let p = permutation(100, 5);
-        let mut seen = vec![false; 100];
+        let mut seen = [false; 100];
         for &i in &p {
             assert!(!seen[i]);
             seen[i] = true;

@@ -1,0 +1,54 @@
+//! Serde support for [`Mat`].
+//!
+//! A matrix serializes as `{"rows": r, "cols": c, "data": [row-major f64]}`.
+//! The JSON writer prints `f64` entries with shortest-round-trip
+//! formatting, so a save/load cycle reproduces the matrix bit-exactly.
+
+use crate::Mat;
+use serde::{Deserialize, Error, Serialize, Value};
+
+impl Serialize for Mat {
+    fn to_value(&self) -> Value {
+        Value::Object(vec![
+            ("rows".to_string(), self.rows().to_value()),
+            ("cols".to_string(), self.cols().to_value()),
+            ("data".to_string(), self.as_slice().to_value()),
+        ])
+    }
+}
+
+impl Deserialize for Mat {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let rows = usize::from_value(v.get_field("rows")?)?;
+        let cols = usize::from_value(v.get_field("cols")?)?;
+        let data = Vec::<f64>::from_value(v.get_field("data")?)?;
+        Mat::from_vec(rows, cols, data).map_err(|e| Error(format!("matrix shape mismatch: {e}")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::random::rand_uniform;
+
+    #[test]
+    fn mat_round_trips_through_value() {
+        let m = rand_uniform(7, 5, -3.0, 3.0, 11);
+        let back = Mat::from_value(&m.to_value()).unwrap();
+        assert_eq!(m, back);
+    }
+
+    #[test]
+    fn bad_shapes_rejected() {
+        let mut v = Mat::zeros(2, 2).to_value();
+        if let Value::Object(pairs) = &mut v {
+            for (k, val) in pairs.iter_mut() {
+                if k == "rows" {
+                    *val = Value::Number(3.0);
+                }
+            }
+        }
+        assert!(Mat::from_value(&v).is_err());
+        assert!(Mat::from_value(&Value::Null).is_err());
+    }
+}

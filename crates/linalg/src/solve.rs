@@ -133,7 +133,10 @@ pub fn solve(a: &Mat, b: &[f64]) -> Result<Vec<f64>> {
             }
         }
         if pivot_val < 1e-300 {
-            return Err(LinalgError::Singular { op: "solve", pivot: col });
+            return Err(LinalgError::Singular {
+                op: "solve",
+                pivot: col,
+            });
         }
         if pivot_row != col {
             swap_rows(&mut lu, col, pivot_row);

@@ -109,6 +109,19 @@ pub fn normalize_l1(a: &mut [f64]) {
     }
 }
 
+/// Dot product of a sparse vector (parallel `indices`/`values`) with a
+/// dense vector. Out-of-range indices are ignored — the caller validates
+/// dimensions; this keeps the serving hot loop branch-light.
+pub fn sparse_dense_dot(indices: &[usize], values: &[f64], dense: &[f64]) -> f64 {
+    let mut acc = 0.0;
+    for (&j, &v) in indices.iter().zip(values) {
+        if let Some(&d) = dense.get(j) {
+            acc += v * d;
+        }
+    }
+    acc
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

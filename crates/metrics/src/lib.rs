@@ -231,7 +231,11 @@ mod tests {
         // A scrambled labelling.
         let truth = vec![0, 1, 2, 0, 1, 2, 0, 1, 2, 0];
         let pred = vec![2, 2, 1, 0, 0, 1, 1, 0, 2, 2];
-        for v in [fscore(&truth, &pred), nmi(&truth, &pred), purity(&truth, &pred)] {
+        for v in [
+            fscore(&truth, &pred),
+            nmi(&truth, &pred),
+            purity(&truth, &pred),
+        ] {
             assert!((0.0..=1.0).contains(&v), "{v}");
         }
         let ari = adjusted_rand_index(&truth, &pred);

@@ -1,0 +1,424 @@
+//! The concurrent serving engine.
+//!
+//! [`ServeEngine`] owns a registry of named fitted models and a pool of
+//! std-only worker threads draining [`AssignRequest`] batches from an
+//! mpsc queue. Requests are submitted without blocking ([`
+//! ServeEngine::submit`] returns a [`PendingAssign`] handle); callers
+//! that want synchronous behaviour use [`ServeEngine::assign`].
+//!
+//! Counters: every processed batch bumps request/document/latency
+//! counters (atomics — the hot path takes no lock except the brief
+//! receiver lock to pop a job), exposed as a [`StatsSnapshot`].
+//!
+//! Shutdown: dropping the engine closes the queue, lets the workers
+//! drain what they already accepted, and joins them.
+
+use crate::assign::{Assigner, SparseVec};
+use crate::error::ServeError;
+use rhchme::export::FittedModel;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Mutex, RwLock};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// A batch of unseen objects to fold into one registered model.
+#[derive(Debug, Clone)]
+pub struct AssignRequest {
+    /// Name the model was registered under.
+    pub model: String,
+    /// Which object type the documents belong to (0 = documents in the
+    /// canonical corpus layout).
+    pub type_index: usize,
+    /// The batch, each a sparse vector over that type's feature view.
+    pub docs: Vec<SparseVec>,
+}
+
+/// The result of one [`AssignRequest`].
+#[derive(Debug, Clone)]
+pub struct AssignResponse {
+    /// Posterior over clusters for every input, in order.
+    pub posteriors: Vec<Vec<f64>>,
+    /// Hard labels (posterior argmax), same order.
+    pub labels: Vec<usize>,
+    /// Queue + compute time from submission to completion.
+    pub latency: Duration,
+}
+
+/// Handle to a submitted request; resolve it with [`PendingAssign::wait`].
+pub struct PendingAssign {
+    rx: Receiver<Result<AssignResponse, ServeError>>,
+}
+
+impl PendingAssign {
+    /// Block until the engine has processed the request.
+    ///
+    /// # Errors
+    /// Propagates assignment errors; returns [`ServeError::Shutdown`] if
+    /// the engine dropped the request while shutting down.
+    pub fn wait(self) -> Result<AssignResponse, ServeError> {
+        self.rx.recv().map_err(|_| ServeError::Shutdown)?
+    }
+}
+
+#[derive(Default)]
+struct Counters {
+    requests: AtomicU64,
+    documents: AtomicU64,
+    errors: AtomicU64,
+    busy_nanos: AtomicU64,
+    latency_nanos: AtomicU64,
+}
+
+/// Point-in-time view of the engine counters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StatsSnapshot {
+    /// Successfully processed requests.
+    pub requests: u64,
+    /// Documents assigned across all successful requests.
+    pub documents: u64,
+    /// Requests that returned an error.
+    pub errors: u64,
+    /// Total worker compute time (sum over workers).
+    pub busy: Duration,
+    /// Total submission-to-completion latency (sum over requests).
+    pub total_latency: Duration,
+}
+
+impl StatsSnapshot {
+    /// Mean submission-to-completion latency per request.
+    pub fn mean_latency(&self) -> Duration {
+        if self.requests == 0 {
+            Duration::ZERO
+        } else {
+            self.total_latency.div_f64(self.requests as f64)
+        }
+    }
+
+    /// Documents per second of worker compute time.
+    pub fn throughput(&self) -> f64 {
+        let secs = self.busy.as_secs_f64();
+        if secs <= 0.0 {
+            0.0
+        } else {
+            self.documents as f64 / secs
+        }
+    }
+}
+
+struct Job {
+    request: AssignRequest,
+    submitted: Instant,
+    reply: Sender<Result<AssignResponse, ServeError>>,
+}
+
+struct Inner {
+    models: RwLock<HashMap<String, Arc<Assigner>>>,
+    queue: Mutex<Receiver<Job>>,
+    counters: Counters,
+}
+
+/// Multi-model, multi-threaded fold-in server.
+pub struct ServeEngine {
+    inner: Arc<Inner>,
+    tx: Option<Sender<Job>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ServeEngine {
+    /// Spin up an engine with `workers` threads (at least one).
+    pub fn new(workers: usize) -> Self {
+        let (tx, rx) = channel::<Job>();
+        let inner = Arc::new(Inner {
+            models: RwLock::new(HashMap::new()),
+            queue: Mutex::new(rx),
+            counters: Counters::default(),
+        });
+        let workers = (0..workers.max(1))
+            .map(|i| {
+                let inner = Arc::clone(&inner);
+                std::thread::Builder::new()
+                    .name(format!("mtrl-serve-worker-{i}"))
+                    .spawn(move || worker_loop(&inner))
+                    .expect("spawning a serve worker")
+            })
+            .collect();
+        ServeEngine {
+            inner,
+            tx: Some(tx),
+            workers,
+        }
+    }
+
+    /// Register (or replace) a model under a name. The model is wrapped
+    /// in an [`Assigner`], which validates it.
+    ///
+    /// # Errors
+    /// Returns [`ServeError::Corrupt`] for a model that fails validation.
+    pub fn register(&self, name: impl Into<String>, model: FittedModel) -> Result<(), ServeError> {
+        let assigner = Assigner::new(model)?;
+        self.inner
+            .models
+            .write()
+            .expect("model registry poisoned")
+            .insert(name.into(), Arc::new(assigner));
+        Ok(())
+    }
+
+    /// Remove a model; returns whether it was present. In-flight requests
+    /// referencing it keep their already-resolved `Arc` and finish.
+    pub fn unregister(&self, name: &str) -> bool {
+        self.inner
+            .models
+            .write()
+            .expect("model registry poisoned")
+            .remove(name)
+            .is_some()
+    }
+
+    /// Names of all registered models (sorted).
+    pub fn model_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self
+            .inner
+            .models
+            .read()
+            .expect("model registry poisoned")
+            .keys()
+            .cloned()
+            .collect();
+        names.sort();
+        names
+    }
+
+    /// Enqueue a request; returns immediately with a wait handle.
+    pub fn submit(&self, request: AssignRequest) -> PendingAssign {
+        let (reply_tx, reply_rx) = channel();
+        let job = Job {
+            request,
+            submitted: Instant::now(),
+            reply: reply_tx,
+        };
+        // The sender exists for the whole engine lifetime; a send only
+        // fails during shutdown, in which case the handle reports it.
+        if let Some(tx) = &self.tx {
+            let _ = tx.send(job);
+        }
+        PendingAssign { rx: reply_rx }
+    }
+
+    /// Submit and wait — the synchronous convenience path.
+    ///
+    /// # Errors
+    /// Propagates the request's assignment errors.
+    pub fn assign(
+        &self,
+        model: &str,
+        type_index: usize,
+        docs: Vec<SparseVec>,
+    ) -> Result<AssignResponse, ServeError> {
+        self.submit(AssignRequest {
+            model: model.to_string(),
+            type_index,
+            docs,
+        })
+        .wait()
+    }
+
+    /// Current counter values.
+    pub fn stats(&self) -> StatsSnapshot {
+        let c = &self.inner.counters;
+        StatsSnapshot {
+            requests: c.requests.load(Ordering::Relaxed),
+            documents: c.documents.load(Ordering::Relaxed),
+            errors: c.errors.load(Ordering::Relaxed),
+            busy: Duration::from_nanos(c.busy_nanos.load(Ordering::Relaxed)),
+            total_latency: Duration::from_nanos(c.latency_nanos.load(Ordering::Relaxed)),
+        }
+    }
+
+    /// Number of worker threads.
+    pub fn num_workers(&self) -> usize {
+        self.workers.len()
+    }
+}
+
+impl Drop for ServeEngine {
+    fn drop(&mut self) {
+        // Closing the channel ends `recv` with an error once the queue is
+        // drained; workers then exit.
+        self.tx.take();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn worker_loop(inner: &Inner) {
+    loop {
+        // Pop under the lock, process outside it.
+        let job = {
+            let queue = inner.queue.lock().expect("job queue poisoned");
+            queue.recv()
+        };
+        let Ok(job) = job else { break };
+        let started = Instant::now();
+        let result = process(inner, &job.request, job.submitted);
+        let busy = started.elapsed();
+        let latency = job.submitted.elapsed();
+        let c = &inner.counters;
+        match &result {
+            Ok(response) => {
+                c.requests.fetch_add(1, Ordering::Relaxed);
+                c.documents
+                    .fetch_add(response.posteriors.len() as u64, Ordering::Relaxed);
+                c.busy_nanos
+                    .fetch_add(busy.as_nanos() as u64, Ordering::Relaxed);
+                c.latency_nanos
+                    .fetch_add(latency.as_nanos() as u64, Ordering::Relaxed);
+            }
+            Err(_) => {
+                c.errors.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        // The caller may have dropped its handle; that is fine.
+        let _ = job.reply.send(result);
+    }
+}
+
+fn process(
+    inner: &Inner,
+    request: &AssignRequest,
+    submitted: Instant,
+) -> Result<AssignResponse, ServeError> {
+    let assigner = {
+        let models = inner.models.read().expect("model registry poisoned");
+        models
+            .get(&request.model)
+            .cloned()
+            .ok_or_else(|| ServeError::UnknownModel(request.model.clone()))?
+    };
+    let posteriors = assigner.assign_batch(request.type_index, &request.docs)?;
+    let labels = Assigner::labels(&posteriors);
+    Ok(AssignResponse {
+        posteriors,
+        labels,
+        // Submission-to-completion, matching the field's documentation —
+        // queue wait counts, not just compute.
+        latency: submitted.elapsed(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_support::tiny_fitted_model;
+
+    fn engine_with_model(name: &str, seed: u64) -> ServeEngine {
+        let engine = ServeEngine::new(3);
+        engine.register(name, tiny_fitted_model(seed)).unwrap();
+        engine
+    }
+
+    fn some_docs(n: usize) -> Vec<SparseVec> {
+        (0..n)
+            .map(|i| SparseVec::new(vec![i % 7, (i % 7) + 3], vec![1.0, 0.5]).unwrap())
+            .collect()
+    }
+
+    #[test]
+    fn sync_assign_round_trip() {
+        let engine = engine_with_model("m", 51);
+        let response = engine.assign("m", 0, some_docs(10)).unwrap();
+        assert_eq!(response.posteriors.len(), 10);
+        assert_eq!(response.labels.len(), 10);
+        for p in &response.posteriors {
+            let sum: f64 = p.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-12);
+        }
+        let stats = engine.stats();
+        assert_eq!(stats.requests, 1);
+        assert_eq!(stats.documents, 10);
+        assert_eq!(stats.errors, 0);
+        assert!(stats.mean_latency() > Duration::ZERO);
+    }
+
+    #[test]
+    fn concurrent_submissions_all_resolve() {
+        let engine = engine_with_model("m", 52);
+        let pending: Vec<PendingAssign> = (0..32)
+            .map(|_| {
+                engine.submit(AssignRequest {
+                    model: "m".into(),
+                    type_index: 0,
+                    docs: some_docs(4),
+                })
+            })
+            .collect();
+        for p in pending {
+            let r = p.wait().unwrap();
+            assert_eq!(r.posteriors.len(), 4);
+        }
+        let stats = engine.stats();
+        assert_eq!(stats.requests, 32);
+        assert_eq!(stats.documents, 128);
+        assert!(stats.throughput() > 0.0);
+    }
+
+    #[test]
+    fn unknown_model_is_an_error_not_a_crash() {
+        let engine = engine_with_model("m", 53);
+        match engine.assign("ghost", 0, some_docs(1)) {
+            Err(ServeError::UnknownModel(name)) => assert_eq!(name, "ghost"),
+            other => panic!("expected UnknownModel, got {other:?}"),
+        }
+        assert_eq!(engine.stats().errors, 1);
+        // The engine still serves the real model afterwards.
+        assert!(engine.assign("m", 0, some_docs(1)).is_ok());
+    }
+
+    #[test]
+    fn registry_operations() {
+        let engine = engine_with_model("a", 54);
+        engine.register("b", tiny_fitted_model(55)).unwrap();
+        assert_eq!(engine.model_names(), vec!["a".to_string(), "b".to_string()]);
+        assert!(engine.unregister("a"));
+        assert!(!engine.unregister("a"));
+        assert_eq!(engine.model_names(), vec!["b".to_string()]);
+    }
+
+    #[test]
+    fn replace_model_under_same_name() {
+        let engine = engine_with_model("m", 56);
+        engine.register("m", tiny_fitted_model(57)).unwrap();
+        assert_eq!(engine.model_names().len(), 1);
+        assert!(engine.assign("m", 0, some_docs(2)).is_ok());
+    }
+
+    #[test]
+    fn drop_joins_workers() {
+        let engine = engine_with_model("m", 58);
+        let _ = engine.assign("m", 0, some_docs(3));
+        drop(engine); // must not hang or panic
+    }
+
+    #[test]
+    fn multiple_threads_share_engine() {
+        let engine = Arc::new(engine_with_model("m", 59));
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let engine = Arc::clone(&engine);
+                std::thread::spawn(move || {
+                    for _ in 0..8 {
+                        let r = engine.assign("m", 0, some_docs(2)).unwrap();
+                        assert_eq!(r.posteriors.len(), 2);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(engine.stats().documents, 64);
+    }
+}

@@ -1,0 +1,82 @@
+//! Error type for the serving subsystem.
+
+use std::fmt;
+
+/// Errors surfaced by persistence, fold-in and the serve engine.
+#[derive(Debug)]
+pub enum ServeError {
+    /// An I/O failure while saving or loading a model bundle.
+    Io(std::io::Error),
+    /// The bundle failed to parse or did not match the expected schema.
+    Corrupt(String),
+    /// The bundle parsed but its schema version is not supported.
+    SchemaVersion {
+        /// Version found in the bundle.
+        found: u32,
+        /// Version this build supports.
+        supported: u32,
+    },
+    /// A request referenced a model name that is not registered.
+    UnknownModel(String),
+    /// A request is inconsistent with the model (type index, dimension…).
+    InvalidRequest(String),
+    /// The engine is shutting down and can no longer accept work.
+    Shutdown,
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Io(e) => write!(f, "model bundle I/O error: {e}"),
+            ServeError::Corrupt(msg) => write!(f, "corrupt model bundle: {msg}"),
+            ServeError::SchemaVersion { found, supported } => write!(
+                f,
+                "unsupported model schema version {found} (this build supports {supported})"
+            ),
+            ServeError::UnknownModel(name) => write!(f, "no model registered as `{name}`"),
+            ServeError::InvalidRequest(msg) => write!(f, "invalid assign request: {msg}"),
+            ServeError::Shutdown => write!(f, "serve engine is shut down"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for ServeError {
+    fn from(e: std::io::Error) -> Self {
+        ServeError::Io(e)
+    }
+}
+
+impl From<serde::Error> for ServeError {
+    fn from(e: serde::Error) -> Self {
+        ServeError::Corrupt(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(ServeError::UnknownModel("m".into())
+            .to_string()
+            .contains("`m`"));
+        assert!(ServeError::SchemaVersion {
+            found: 9,
+            supported: 1
+        }
+        .to_string()
+        .contains('9'));
+        let io: ServeError = std::io::Error::other("x").into();
+        assert!(matches!(io, ServeError::Io(_)));
+    }
+}

@@ -62,8 +62,7 @@ impl Coo {
 
     /// Finalise into CSR, sorting and summing duplicate coordinates.
     pub fn to_csr(mut self) -> Csr {
-        self.entries
-            .sort_unstable_by_key(|a| (a.0, a.1));
+        self.entries.sort_unstable_by_key(|a| (a.0, a.1));
         let mut indptr = vec![0usize; self.rows + 1];
         let mut indices = Vec::with_capacity(self.entries.len());
         let mut values: Vec<f64> = Vec::with_capacity(self.entries.len());

@@ -221,9 +221,7 @@ impl Csr {
 
     /// Row sums.
     pub fn row_sums(&self) -> Vec<f64> {
-        (0..self.rows)
-            .map(|i| self.row(i).1.iter().sum())
-            .collect()
+        (0..self.rows).map(|i| self.row(i).1.iter().sum()).collect()
     }
 
     /// Column sums.

@@ -29,7 +29,10 @@ fn main() {
         ..PipelineParams::default()
     };
 
-    println!("{:<8} {:>8} {:>8} {:>8} {:>10}", "method", "FScore", "NMI", "purity", "time");
+    println!(
+        "{:<8} {:>8} {:>8} {:>8} {:>10}",
+        "method", "FScore", "NMI", "purity", "time"
+    );
     let mut rows = Vec::new();
     for method in Method::all() {
         let out = run_method(&corpus, method, &params).expect("method run");

@@ -44,10 +44,7 @@ fn main() {
     );
     println!("FScore = {:.3}", fscore(&corpus.labels, &result.doc_labels));
     println!("NMI    = {:.3}", nmi(&corpus.labels, &result.doc_labels));
-    println!(
-        "purity = {:.3}",
-        purity(&corpus.labels, &result.doc_labels)
-    );
+    println!("purity = {:.3}", purity(&corpus.labels, &result.doc_labels));
 
     // The per-type solution: terms and concepts are clustered too (that
     // is the "high-order" in HOCC).

@@ -5,14 +5,17 @@
 //! Manifold Ensemble*).
 //!
 //! This crate re-exports the workspace libraries and hosts the runnable
-//! examples (`cargo run --release --example quickstart`) and the
-//! cross-crate integration tests. See README.md for the architecture
-//! overview and EXPERIMENTS.md for the paper-vs-measured record.
+//! examples (`cargo run --release --example quickstart`,
+//! `--example serve_demo`) and the cross-crate integration tests. See
+//! README.md for the architecture overview (including the serving
+//! layer); the bench targets write paper-vs-measured JSON records under
+//! `target/bench-results/`.
 
 pub use mtrl_datagen as datagen;
 pub use mtrl_graph as graph;
 pub use mtrl_linalg as linalg;
 pub use mtrl_metrics as metrics;
+pub use mtrl_serve as serve;
 pub use mtrl_sparse as sparse;
 pub use mtrl_subspace as subspace;
 pub use rhchme as core;
@@ -20,8 +23,12 @@ pub use rhchme as core;
 /// Convenience prelude: the types most programs need.
 pub mod prelude {
     pub use mtrl_datagen::datasets::{load, DatasetId, Scale};
-    pub use mtrl_datagen::{CorpusConfig, MultiTypeCorpus};
+    pub use mtrl_datagen::{split_corpus, CorpusConfig, HeldOutDoc, MultiTypeCorpus};
     pub use mtrl_metrics::{adjusted_rand_index, fscore, nmi, purity};
+    pub use mtrl_serve::{
+        AssignRequest, AssignResponse, Assigner, FittedModel, ServeEngine, ServeError, SparseVec,
+        StatsSnapshot,
+    };
     pub use rhchme::pipeline::{run_method, Method, MethodOutput, PipelineParams};
     pub use rhchme::rhchme::{Rhchme, RhchmeConfig, RhchmeResult};
     pub use rhchme::MultiTypeData;

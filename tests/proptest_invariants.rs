@@ -10,9 +10,8 @@ use mtrl_linalg::Mat;
 use proptest::prelude::*;
 
 fn arb_mat(max_dim: usize) -> impl Strategy<Value = Mat> {
-    (1..max_dim, 1..max_dim, any::<u64>()).prop_map(|(r, c, seed)| {
-        rand_uniform(r, c, -2.0, 2.0, seed)
-    })
+    (1..max_dim, 1..max_dim, any::<u64>())
+        .prop_map(|(r, c, seed)| rand_uniform(r, c, -2.0, 2.0, seed))
 }
 
 proptest! {

@@ -1,0 +1,221 @@
+//! Derive macros for the vendored `serde` shim.
+//!
+//! Supports exactly the shapes this workspace derives on:
+//!
+//! * structs with named fields — serialized as a JSON object keyed by
+//!   field name, in declaration order;
+//! * fieldless enums — serialized as the variant name string.
+//!
+//! Anything else (tuple structs, generic types, data-carrying enum
+//! variants) produces a `compile_error!` pointing here; data-carrying
+//! enums in the workspace (e.g. `WeightScheme`) use hand-written impls.
+//!
+//! The implementation parses the raw token stream by hand — the usual
+//! `syn`/`quote` stack is unavailable offline, and the supported grammar
+//! is small enough that a direct scan is clearer anyway.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+enum Shape {
+    /// Named-field struct: type name + field names.
+    Struct(String, Vec<String>),
+    /// Fieldless enum: type name + variant names.
+    Enum(String, Vec<String>),
+    /// Unsupported input; carries a message for `compile_error!`.
+    Unsupported(String),
+}
+
+/// Skip `#[...]` attribute groups and visibility modifiers at `i`.
+fn skip_attrs_and_vis(tokens: &[TokenTree], mut i: usize) -> usize {
+    loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                // `#` then a bracketed group.
+                i += 2;
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                // Optional `(crate)` / `(super)` restriction group.
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+            _ => return i,
+        }
+    }
+}
+
+/// Split a brace-group body at top-level commas.
+fn split_top_level(body: &TokenTree) -> Vec<Vec<TokenTree>> {
+    let group = match body {
+        TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => g,
+        _ => return Vec::new(),
+    };
+    let mut items = Vec::new();
+    let mut current = Vec::new();
+    for t in group.stream() {
+        match &t {
+            TokenTree::Punct(p) if p.as_char() == ',' => {
+                if !current.is_empty() {
+                    items.push(std::mem::take(&mut current));
+                }
+            }
+            _ => current.push(t),
+        }
+    }
+    if !current.is_empty() {
+        items.push(current);
+    }
+    items
+}
+
+fn parse_input(input: TokenStream) -> Shape {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_attrs_and_vis(&tokens, 0);
+    let keyword = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        _ => return Shape::Unsupported("expected `struct` or `enum`".into()),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        _ => return Shape::Unsupported("expected a type name".into()),
+    };
+    i += 1;
+    if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Shape::Unsupported(format!(
+            "the vendored serde_derive does not support generic type `{name}`"
+        ));
+    }
+    let body = match tokens.get(i) {
+        Some(t @ TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => t,
+        _ => {
+            return Shape::Unsupported(format!(
+                "the vendored serde_derive only supports brace-bodied types (`{name}`)"
+            ))
+        }
+    };
+
+    match keyword.as_str() {
+        "struct" => {
+            let mut fields = Vec::new();
+            for item in split_top_level(body) {
+                let j = skip_attrs_and_vis(&item, 0);
+                match (item.get(j), item.get(j + 1)) {
+                    (Some(TokenTree::Ident(field)), Some(TokenTree::Punct(colon)))
+                        if colon.as_char() == ':' =>
+                    {
+                        fields.push(field.to_string());
+                    }
+                    _ => {
+                        return Shape::Unsupported(format!(
+                            "struct `{name}`: only named fields are supported"
+                        ))
+                    }
+                }
+            }
+            Shape::Struct(name, fields)
+        }
+        "enum" => {
+            let mut variants = Vec::new();
+            for item in split_top_level(body) {
+                let j = skip_attrs_and_vis(&item, 0);
+                match item.get(j) {
+                    Some(TokenTree::Ident(variant)) if item.len() == j + 1 => {
+                        variants.push(variant.to_string());
+                    }
+                    _ => {
+                        return Shape::Unsupported(format!(
+                            "enum `{name}`: only fieldless variants are supported \
+                             (write a manual impl for data-carrying enums)"
+                        ))
+                    }
+                }
+            }
+            Shape::Enum(name, variants)
+        }
+        other => Shape::Unsupported(format!("unsupported item kind `{other}`")),
+    }
+}
+
+fn error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});").parse().unwrap()
+}
+
+/// Derive the shim `serde::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let code = match parse_input(input) {
+        Shape::Struct(name, fields) => {
+            let pushes: String = fields
+                .iter()
+                .map(|f| format!("(String::from({f:?}), ::serde::Serialize::to_value(&self.{f})),"))
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         ::serde::Value::Object(vec![{pushes}])\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Shape::Enum(name, variants) => {
+            let arms: String = variants
+                .iter()
+                .map(|v| format!("{name}::{v} => {v:?},"))
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         ::serde::Value::String(String::from(match self {{ {arms} }}))\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Shape::Unsupported(msg) => return error(&msg),
+    };
+    code.parse().unwrap()
+}
+
+/// Derive the shim `serde::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let code = match parse_input(input) {
+        Shape::Struct(name, fields) => {
+            let inits: String = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::Deserialize::from_value(v.get_field({f:?})?)?,"))
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                         Ok({name} {{ {inits} }})\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Shape::Enum(name, variants) => {
+            let arms: String = variants
+                .iter()
+                .map(|v| format!("{v:?} => Ok({name}::{v}),"))
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                         match v.as_str().ok_or_else(|| ::serde::Error(format!(\n\
+                             \"expected a variant string for {name}, found {{}}\", v.kind())))? {{\n\
+                             {arms}\n\
+                             other => Err(::serde::Error(format!(\n\
+                                 \"unknown {name} variant `{{other}}`\"))),\n\
+                         }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Shape::Unsupported(msg) => return error(&msg),
+    };
+    code.parse().unwrap()
+}

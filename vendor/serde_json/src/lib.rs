@@ -1,0 +1,511 @@
+//! Vendored, offline subset of `serde_json`.
+//!
+//! Renders and parses the [`Value`] tree of the vendored `serde` shim.
+//! Provides the functions this workspace calls — [`to_string`],
+//! [`to_string_pretty`], [`from_str`], [`to_value`], [`from_value`] — and
+//! a [`json!`] macro covering object/array literals with arbitrary
+//! expression values.
+//!
+//! Numbers: all values are `f64`. Integral values in `±2^53` print
+//! without a decimal point; other finite values print via Rust's shortest
+//! round-trip formatting (`{:?}`), so `f64` data survives a save/load
+//! cycle bit-exactly. Non-finite numbers render as `null` (like upstream
+//! serde_json).
+
+// The `json!` macro expands to create-then-push sequences by design
+// (mirroring upstream's expansion); the lint would fire at every use site.
+#![allow(clippy::vec_init_then_push)]
+
+use serde::{Deserialize, Serialize};
+pub use serde::{Error, Value};
+
+/// Serialize any [`Serialize`] type to its value tree.
+pub fn to_value<T: Serialize + ?Sized>(value: &T) -> Value {
+    value.to_value()
+}
+
+/// Rebuild a [`Deserialize`] type from a value tree.
+///
+/// # Errors
+/// Returns [`Error`] when the tree does not match the expected shape.
+pub fn from_value<T: Deserialize>(value: &Value) -> Result<T, Error> {
+    T::from_value(value)
+}
+
+/// Serialize to a compact JSON string.
+///
+/// # Errors
+/// Infallible for this shim; the `Result` mirrors upstream's signature.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), None, 0);
+    Ok(out)
+}
+
+/// Serialize to a pretty-printed JSON string (two-space indent).
+///
+/// # Errors
+/// Infallible for this shim; the `Result` mirrors upstream's signature.
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), Some(2), 0);
+    Ok(out)
+}
+
+/// Parse a JSON string into a [`Deserialize`] type.
+///
+/// # Errors
+/// Returns [`Error`] on malformed JSON or a shape mismatch.
+pub fn from_str<T: Deserialize>(s: &str) -> Result<T, Error> {
+    let value = parse_value_str(s)?;
+    T::from_value(&value)
+}
+
+// ---- writer ----------------------------------------------------------
+
+fn write_value(out: &mut String, v: &Value, indent: Option<usize>, depth: usize) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Number(n) => write_number(out, *n),
+        Value::String(s) => write_string(out, s),
+        Value::Array(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, depth + 1);
+                write_value(out, item, indent, depth + 1);
+            }
+            newline_indent(out, indent, depth);
+            out.push(']');
+        }
+        Value::Object(pairs) => {
+            if pairs.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (k, val)) in pairs.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, depth + 1);
+                write_string(out, k);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_value(out, val, indent, depth + 1);
+            }
+            newline_indent(out, indent, depth);
+            out.push('}');
+        }
+    }
+}
+
+fn newline_indent(out: &mut String, indent: Option<usize>, depth: usize) {
+    if let Some(width) = indent {
+        out.push('\n');
+        for _ in 0..width * depth {
+            out.push(' ');
+        }
+    }
+}
+
+fn write_number(out: &mut String, n: f64) {
+    use std::fmt::Write;
+    // `-0.0` must take the `{:?}` path: the integer branch would print
+    // "0" and lose the sign bit, breaking bit-exact round-trips.
+    let negative_zero = n == 0.0 && n.is_sign_negative();
+    if !n.is_finite() {
+        out.push_str("null");
+    } else if n.fract() == 0.0 && n.abs() < 9.007_199_254_740_992e15 && !negative_zero {
+        let _ = write!(out, "{}", n as i64);
+    } else {
+        // Shortest representation that round-trips through `parse::<f64>`.
+        let _ = write!(out, "{n:?}");
+    }
+}
+
+fn write_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{08}' => out.push_str("\\b"),
+            '\u{0c}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                use std::fmt::Write;
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+// ---- parser ----------------------------------------------------------
+
+fn parse_value_str(s: &str) -> Result<Value, Error> {
+    let bytes = s.as_bytes();
+    let mut pos = 0;
+    let v = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(Error(format!("trailing characters at byte {pos}")));
+    }
+    Ok(v)
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(b: &[u8], pos: &mut usize, c: u8) -> Result<(), Error> {
+    if *pos < b.len() && b[*pos] == c {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(Error(format!("expected `{}` at byte {}", c as char, *pos)))
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Result<Value, Error> {
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        None => Err(Error("unexpected end of input".into())),
+        Some(b'n') => parse_keyword(b, pos, "null", Value::Null),
+        Some(b't') => parse_keyword(b, pos, "true", Value::Bool(true)),
+        Some(b'f') => parse_keyword(b, pos, "false", Value::Bool(false)),
+        Some(b'"') => parse_string(b, pos).map(Value::String),
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Value::Array(items));
+            }
+            loop {
+                items.push(parse_value(b, pos)?);
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Value::Array(items));
+                    }
+                    _ => return Err(Error(format!("expected `,` or `]` at byte {pos}"))),
+                }
+            }
+        }
+        Some(b'{') => {
+            *pos += 1;
+            let mut pairs = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Value::Object(pairs));
+            }
+            loop {
+                skip_ws(b, pos);
+                let key = parse_string(b, pos)?;
+                skip_ws(b, pos);
+                expect(b, pos, b':')?;
+                let val = parse_value(b, pos)?;
+                pairs.push((key, val));
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Value::Object(pairs));
+                    }
+                    _ => return Err(Error(format!("expected `,` or `}}` at byte {pos}"))),
+                }
+            }
+        }
+        Some(_) => parse_number(b, pos),
+    }
+}
+
+fn parse_keyword(b: &[u8], pos: &mut usize, word: &str, value: Value) -> Result<Value, Error> {
+    if b[*pos..].starts_with(word.as_bytes()) {
+        *pos += word.len();
+        Ok(value)
+    } else {
+        Err(Error(format!("invalid literal at byte {pos}")))
+    }
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, Error> {
+    expect(b, pos, b'"')?;
+    let mut out = String::new();
+    loop {
+        match b.get(*pos) {
+            None => return Err(Error("unterminated string".into())),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match b.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'b') => out.push('\u{08}'),
+                    Some(b'f') => out.push('\u{0c}'),
+                    Some(b'u') => {
+                        let code = parse_hex4(b, *pos + 1)?;
+                        *pos += 4;
+                        let c = if (0xD800..0xDC00).contains(&code) {
+                            // High surrogate: a low surrogate escape must
+                            // follow (JSON encodes non-BMP chars as pairs).
+                            if b.get(*pos + 1..*pos + 3) != Some(b"\\u") {
+                                return Err(Error("lone high surrogate in \\u escape".into()));
+                            }
+                            let low = parse_hex4(b, *pos + 3)?;
+                            if !(0xDC00..0xE000).contains(&low) {
+                                return Err(Error("invalid low surrogate in \\u escape".into()));
+                            }
+                            *pos += 6;
+                            0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00)
+                        } else if (0xDC00..0xE000).contains(&code) {
+                            return Err(Error("lone low surrogate in \\u escape".into()));
+                        } else {
+                            code
+                        };
+                        out.push(
+                            char::from_u32(c).ok_or_else(|| Error("bad \\u code point".into()))?,
+                        );
+                    }
+                    _ => return Err(Error("bad escape".into())),
+                }
+                *pos += 1;
+            }
+            Some(_) => {
+                // Consume one UTF-8 scalar (multi-byte aware).
+                let rest =
+                    std::str::from_utf8(&b[*pos..]).map_err(|_| Error("invalid UTF-8".into()))?;
+                let c = rest.chars().next().unwrap();
+                out.push(c);
+                *pos += c.len_utf8();
+            }
+        }
+    }
+}
+
+/// Four hex digits starting at `at` (does not advance the cursor).
+fn parse_hex4(b: &[u8], at: usize) -> Result<u32, Error> {
+    let hex = b
+        .get(at..at + 4)
+        .ok_or_else(|| Error("truncated \\u escape".into()))?;
+    u32::from_str_radix(
+        std::str::from_utf8(hex).map_err(|_| Error("bad \\u escape".into()))?,
+        16,
+    )
+    .map_err(|_| Error("bad \\u escape".into()))
+}
+
+fn parse_number(b: &[u8], pos: &mut usize) -> Result<Value, Error> {
+    let start = *pos;
+    while *pos < b.len() && matches!(b[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E') {
+        *pos += 1;
+    }
+    let text = std::str::from_utf8(&b[start..*pos]).map_err(|_| Error("invalid number".into()))?;
+    text.parse::<f64>()
+        .map(Value::Number)
+        .map_err(|_| Error(format!("invalid number `{text}` at byte {start}")))
+}
+
+// ---- json! macro ------------------------------------------------------
+
+/// Build a [`Value`] from a JSON-like literal. Object and array literals
+/// nest; any other value position accepts a Rust expression implementing
+/// `Serialize`.
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ([ $($tt:tt)* ]) => {{
+        let mut array = ::std::vec::Vec::new();
+        $crate::json_array_internal!(array; $($tt)*);
+        $crate::Value::Array(array)
+    }};
+    ({ $($tt:tt)* }) => {{
+        let mut object = ::std::vec::Vec::new();
+        $crate::json_object_internal!(object; $($tt)*);
+        $crate::Value::Object(object)
+    }};
+    ($other:expr) => { $crate::to_value(&$other) };
+}
+
+/// Implementation detail of [`json!`] — munches object entries.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_object_internal {
+    ($obj:ident;) => {};
+    ($obj:ident; $key:literal : null $(, $($rest:tt)*)?) => {
+        $obj.push((::std::string::String::from($key), $crate::Value::Null));
+        $($crate::json_object_internal!($obj; $($rest)*);)?
+    };
+    ($obj:ident; $key:literal : { $($inner:tt)* } $(, $($rest:tt)*)?) => {
+        $obj.push((::std::string::String::from($key), $crate::json!({ $($inner)* })));
+        $($crate::json_object_internal!($obj; $($rest)*);)?
+    };
+    ($obj:ident; $key:literal : [ $($inner:tt)* ] $(, $($rest:tt)*)?) => {
+        $obj.push((::std::string::String::from($key), $crate::json!([ $($inner)* ])));
+        $($crate::json_object_internal!($obj; $($rest)*);)?
+    };
+    ($obj:ident; $key:literal : $val:expr , $($rest:tt)*) => {
+        $obj.push((::std::string::String::from($key), $crate::to_value(&$val)));
+        $crate::json_object_internal!($obj; $($rest)*);
+    };
+    ($obj:ident; $key:literal : $val:expr) => {
+        $obj.push((::std::string::String::from($key), $crate::to_value(&$val)));
+    };
+}
+
+/// Implementation detail of [`json!`] — munches array elements.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_array_internal {
+    ($arr:ident;) => {};
+    ($arr:ident; null $(, $($rest:tt)*)?) => {
+        $arr.push($crate::Value::Null);
+        $($crate::json_array_internal!($arr; $($rest)*);)?
+    };
+    ($arr:ident; { $($inner:tt)* } $(, $($rest:tt)*)?) => {
+        $arr.push($crate::json!({ $($inner)* }));
+        $($crate::json_array_internal!($arr; $($rest)*);)?
+    };
+    ($arr:ident; [ $($inner:tt)* ] $(, $($rest:tt)*)?) => {
+        $arr.push($crate::json!([ $($inner)* ]));
+        $($crate::json_array_internal!($arr; $($rest)*);)?
+    };
+    ($arr:ident; $val:expr , $($rest:tt)*) => {
+        $arr.push($crate::to_value(&$val));
+        $crate::json_array_internal!($arr; $($rest)*);
+    };
+    ($arr:ident; $val:expr) => {
+        $arr.push($crate::to_value(&$val));
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_scalars() {
+        for (text, value) in [
+            ("null", Value::Null),
+            ("true", Value::Bool(true)),
+            ("false", Value::Bool(false)),
+            ("42", Value::Number(42.0)),
+            ("-1.5", Value::Number(-1.5)),
+            ("1e-12", Value::Number(1e-12)),
+            ("\"hi\"", Value::String("hi".into())),
+        ] {
+            assert_eq!(parse_value_str(text).unwrap(), value, "{text}");
+        }
+    }
+
+    #[test]
+    fn f64_bits_survive_round_trip() {
+        let values = vec![
+            0.1f64,
+            1.0 / 3.0,
+            1e-300,
+            -2.5e17,
+            f64::MIN_POSITIVE,
+            0.0,
+            -0.0,
+        ];
+        let text = to_string(&values).unwrap();
+        let back: Vec<f64> = from_str(&text).unwrap();
+        for (a, b) in values.iter().zip(&back) {
+            assert_eq!(a.to_bits(), b.to_bits(), "{a}");
+        }
+    }
+
+    #[test]
+    fn nested_round_trip() {
+        let v = json!({
+            "name": "serve",
+            "shape": [3, 4],
+            "nested": {"ok": true, "x": 1.25},
+            "list": [1, {"two": 2}, null],
+            "none": null,
+        });
+        let text = to_string_pretty(&v).unwrap();
+        let back: Value = from_str(&text).unwrap();
+        assert_eq!(v, back);
+    }
+
+    #[test]
+    fn json_macro_accepts_expressions() {
+        let xs = vec![1usize, 2, 3];
+        let v = json!({
+            "len": xs.len(),
+            "sum": xs.iter().sum::<usize>(),
+            "items": xs,
+        });
+        assert_eq!(v.get("len").unwrap().as_f64(), Some(3.0));
+        assert_eq!(v.get("sum").unwrap().as_f64(), Some(6.0));
+        assert_eq!(v.get("items").unwrap().as_array().unwrap().len(), 3);
+    }
+
+    #[test]
+    fn string_escapes() {
+        let s = "line\n\"quoted\"\tand \\ slash \u{1F600}";
+        let text = to_string(&s).unwrap();
+        let back: String = from_str(&text).unwrap();
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    fn surrogate_pair_escapes() {
+        // Standard tools (e.g. Python's ensure_ascii) emit non-BMP chars
+        // as UTF-16 surrogate pairs; both must parse.
+        let v: String = from_str(r#""\ud83d\ude00 ok \u00e9""#).unwrap();
+        assert_eq!(v, "\u{1F600} ok \u{e9}");
+        // Raw UTF-8 (unescaped) also parses.
+        let raw: String = from_str("\"\u{1F600}\"").unwrap();
+        assert_eq!(raw, "\u{1F600}");
+        assert!(from_str::<String>(r#""\ud83d""#).is_err()); // lone high
+        assert!(from_str::<String>(r#""\ude00""#).is_err()); // lone low
+        assert!(from_str::<String>(r#""\ud83dA""#).is_err()); // bad pair
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(parse_value_str("{").is_err());
+        assert!(parse_value_str("[1,]").is_err());
+        assert!(parse_value_str("nul").is_err());
+        assert!(parse_value_str("1 2").is_err());
+        assert!(parse_value_str("\"unterminated").is_err());
+    }
+
+    #[test]
+    fn integers_print_without_decimal() {
+        assert_eq!(to_string(&7usize).unwrap(), "7");
+        assert_eq!(to_string(&-3i64).unwrap(), "-3");
+        assert_eq!(to_string(&2.5f64).unwrap(), "2.5");
+    }
+}
