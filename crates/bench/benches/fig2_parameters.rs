@@ -44,7 +44,7 @@ fn main() {
         .expect("subspace");
 
     let mut points: Vec<SweepPoint> = Vec::new();
-    let run = |l_sub: &mtrl_linalg::BlockDiag, alpha: f64, lambda: f64, beta: f64| {
+    let run = |l_sub: &mtrl_sparse::SparseBlockDiag, alpha: f64, lambda: f64, beta: f64| {
         let res = arts
             .run_rhchme_engine(l_sub, alpha, lambda, beta, max_iter, 1e-6, false)
             .expect("engine");

@@ -1,0 +1,141 @@
+//! CI benchmark regression gate.
+//!
+//! Compares a fresh `MTRL_BENCH_JSON` summary (see the vendored criterion
+//! shim) against a baseline committed in the repository and exits
+//! non-zero when any shared benchmark's mean regresses beyond the
+//! tolerance:
+//!
+//! ```text
+//! bench_gate <baseline.json> <current.json> [--tolerance 0.25]
+//! ```
+//!
+//! Benchmarks present in only one file are reported but never fail the
+//! gate (new benches appear before their baseline is refreshed; renamed
+//! benches disappear from it).
+
+use serde_json::Value;
+use std::process::ExitCode;
+
+/// One baseline/current pair.
+struct Row {
+    name: String,
+    baseline_ns: f64,
+    current_ns: f64,
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut paths = Vec::new();
+    let mut tolerance = 0.25;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == "--tolerance" {
+            let Some(v) = it.next().and_then(|s| s.parse::<f64>().ok()) else {
+                eprintln!("--tolerance needs a numeric argument");
+                return ExitCode::FAILURE;
+            };
+            tolerance = v;
+        } else {
+            paths.push(a.clone());
+        }
+    }
+    if paths.len() != 2 {
+        eprintln!("usage: bench_gate <baseline.json> <current.json> [--tolerance 0.25]");
+        return ExitCode::FAILURE;
+    }
+    let (baseline, current) = (&paths[0], &paths[1]);
+    let base = match load_results(baseline) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("cannot read baseline {baseline}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let cur = match load_results(current) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("cannot read current {current}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let mut rows = Vec::new();
+    for (name, b) in &base {
+        match cur.iter().find(|(n, _)| n == name).map(|(_, v)| *v) {
+            Some(c) => rows.push(Row {
+                name: name.clone(),
+                baseline_ns: *b,
+                current_ns: c,
+            }),
+            None => println!("warn: '{name}' in baseline but not in current run"),
+        }
+    }
+    for (name, _) in &cur {
+        if !base.iter().any(|(n, _)| n == name) {
+            println!("note: '{name}' is new (no baseline); refresh the baseline to gate it");
+        }
+    }
+    if rows.is_empty() {
+        eprintln!("no shared benchmarks between {baseline} and {current}");
+        return ExitCode::FAILURE;
+    }
+
+    let width = rows.iter().map(|r| r.name.len()).max().unwrap_or(8).max(8);
+    println!(
+        "{:<width$}  {:>12}  {:>12}  {:>8}",
+        "bench", "baseline", "current", "ratio"
+    );
+    let mut failed = false;
+    for r in &rows {
+        let ratio = r.current_ns / r.baseline_ns;
+        let verdict = if ratio > 1.0 + tolerance {
+            failed = true;
+            "REGRESSED"
+        } else if ratio < 1.0 - tolerance {
+            "improved"
+        } else {
+            "ok"
+        };
+        println!(
+            "{:<width$}  {:>10.1}ns  {:>10.1}ns  {:>7.2}x  {verdict}",
+            r.name, r.baseline_ns, r.current_ns, ratio
+        );
+    }
+    if failed {
+        eprintln!(
+            "\nbenchmark gate FAILED: at least one mean regressed more than {:.0}% — \
+             investigate, or refresh the committed baseline if the change is intentional",
+            tolerance * 100.0
+        );
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "\nbenchmark gate passed (tolerance {:.0}%)",
+        tolerance * 100.0
+    );
+    ExitCode::SUCCESS
+}
+
+/// Read the `results` map of a summary file as `(name, mean_ns)` pairs
+/// in file order.
+fn load_results(path: &str) -> Result<Vec<(String, f64)>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
+    let value: Value = serde_json::from_str(&text).map_err(|e| format!("{e:?}"))?;
+    let results = value
+        .get("results")
+        .ok_or_else(|| "missing 'results' object".to_string())?;
+    let Value::Object(pairs) = results else {
+        return Err("'results' is not an object".to_string());
+    };
+    let mut out = Vec::with_capacity(pairs.len());
+    for (name, v) in pairs {
+        let mean = v
+            .as_f64()
+            .ok_or_else(|| format!("'{name}' has a non-numeric mean"))?;
+        if !mean.is_finite() || mean <= 0.0 {
+            return Err(format!("'{name}' has a non-positive mean {mean}"));
+        }
+        out.push((name.clone(), mean));
+    }
+    Ok(out)
+}

@@ -16,12 +16,13 @@ use crate::engine::EngineConfig;
 use crate::error::RhchmeError;
 use crate::kmeans::{kmeans, labels_to_membership};
 use crate::Result;
-use mtrl_graph::{laplacian_dense, pnn_graph, LaplacianKind, WeightScheme};
+use mtrl_graph::{laplacian_csr, pnn_graph, LaplacianKind, WeightScheme};
 use mtrl_linalg::norms::frobenius_sq_diff;
-use mtrl_linalg::ops::{gram, matmul, matmul_tn, trace_product_tn};
+use mtrl_linalg::ops::{gram, matmul, matmul_tn};
 use mtrl_linalg::parts::split_parts;
 use mtrl_linalg::solve::ridge_inverse;
 use mtrl_linalg::{Mat, EPS};
+use mtrl_sparse::Csr;
 
 /// Which feature space DRCC clusters against.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -134,18 +135,19 @@ pub fn run_drcc(r: &Mat, cfg: &DrccConfig) -> Result<DrccResult> {
     let cg = cfg.doc_clusters.clamp(2, n);
     let cf = cfg.feature_clusters.clamp(2, m);
 
-    // Graph Laplacians: documents over rows, features over columns.
-    let l_g = laplacian_dense(
+    // Graph Laplacians: documents over rows, features over columns —
+    // sparse end to end, like the HOCC engine.
+    let l_g = laplacian_csr(
         &pnn_graph(r, cfg.p, WeightScheme::Cosine),
         LaplacianKind::SymNormalized,
     );
     let rt = r.transpose();
-    let l_f = laplacian_dense(
+    let l_f = laplacian_csr(
         &pnn_graph(&rt, cfg.p, WeightScheme::Cosine),
         LaplacianKind::SymNormalized,
     );
-    let (lg_pos, lg_neg) = split_parts(&l_g);
-    let (lf_pos, lf_neg) = split_parts(&l_f);
+    let (lg_pos, lg_neg) = l_g.split_parts();
+    let (lf_pos, lf_neg) = l_f.split_parts();
 
     // k-means initialisation on both sides.
     let mut g = labels_to_membership(&kmeans(r, cg, cfg.seed, 50).labels, cg, 0.2);
@@ -191,13 +193,10 @@ pub fn run_drcc(r: &Mat, cfg: &DrccConfig) -> Result<DrccResult> {
             return Err(RhchmeError::Diverged { iteration: t });
         }
 
-        // Objective.
+        // Objective: sparse quadratic forms, no L·G materialisation.
         let recon = g_s_gt_rect(&g, &s, &f)?;
         let fit = frobenius_sq_diff(r, &recon);
-        let lg_g = matmul(&l_g, &g)?;
-        let lf_f = matmul(&l_f, &f)?;
-        let obj =
-            fit + cfg.lambda * trace_product_tn(&lg_g, &g)? + cfg.mu * trace_product_tn(&lf_f, &f)?;
+        let obj = fit + cfg.lambda * l_g.quad_form(&g) + cfg.mu * l_f.quad_form(&f);
         objective_trace.push(obj);
         if cfg.record_doc_labels {
             label_trace.push(argmax_labels(&g));
@@ -226,14 +225,14 @@ fn update_factor(
     p: &Mat,
     n_pos: &Mat,
     n_neg: &Mat,
-    l_pos: &Mat,
-    l_neg: &Mat,
+    l_pos: &Csr,
+    l_neg: &Csr,
     w: f64,
 ) -> Result<()> {
     let xn_pos = matmul(x, n_pos)?;
     let xn_neg = matmul(x, n_neg)?;
-    let lx_pos = matmul(l_pos, x)?;
-    let lx_neg = matmul(l_neg, x)?;
+    let lx_pos = l_pos.spmm_dense(x);
+    let lx_neg = l_neg.spmm_dense(x);
     let c = x.cols();
     for i in 0..x.rows() {
         let prow = p.row(i);

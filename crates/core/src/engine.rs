@@ -27,12 +27,12 @@
 use crate::error::RhchmeError;
 use crate::multitype::MultiTypeData;
 use crate::Result;
-use mtrl_linalg::block::BlockDiag;
 use mtrl_linalg::norms::row_l2_norms;
 use mtrl_linalg::ops::{g_s_gt, gram, matmul, matmul_tn};
 use mtrl_linalg::simplex::project_simplex;
 use mtrl_linalg::solve::ridge_inverse;
 use mtrl_linalg::{Mat, EPS};
+use mtrl_sparse::SparseBlockDiag;
 
 /// Graph regulariser attached to the trace term `λ·tr(GᵀLG)`.
 #[derive(Debug, Clone)]
@@ -40,14 +40,15 @@ pub enum GraphRegularizer {
     /// No intra-type information (SRC).
     None,
     /// A fixed Laplacian — single pNN (SNMTF) or the heterogeneous
-    /// ensemble of Eq. 12 (RHCHME).
-    Fixed(BlockDiag),
+    /// ensemble of Eq. 12 (RHCHME). Kept sparse: a pNN Laplacian has
+    /// `O(p·n)` entries and the update only ever needs `L·G` products.
+    Fixed(SparseBlockDiag),
     /// RMC's pre-given candidate ensemble (Eq. 2): `L = Σ βᵢ L̂ᵢ` with `β`
     /// re-optimised every iteration by minimising
     /// `Σ βᵢ tr(GᵀL̂ᵢG) + μ‖β‖²` over the probability simplex.
     Ensemble {
         /// Candidate Laplacians `L̂ᵢ` (same block layout).
-        candidates: Vec<BlockDiag>,
+        candidates: Vec<SparseBlockDiag>,
         /// Quadratic penalty μ keeping `β` away from the vertices.
         mu: f64,
     },
@@ -208,16 +209,16 @@ pub fn run_engine(
     // cannot see that each iteration's value is consumed within that same
     // iteration, hence the allow.
     #[allow(unused_assignments)]
-    let mut ens_storage: Option<(BlockDiag, BlockDiag, BlockDiag)> = None;
+    let mut ens_storage: Option<(SparseBlockDiag, SparseBlockDiag, SparseBlockDiag)> = None;
 
     for t in 0..cfg.max_iter {
         iterations = t + 1;
 
         // ---- Regulariser for this iteration -------------------------
         let (l_current, l_plus, l_minus): (
-            Option<&BlockDiag>,
-            Option<&BlockDiag>,
-            Option<&BlockDiag>,
+            Option<&SparseBlockDiag>,
+            Option<&SparseBlockDiag>,
+            Option<&SparseBlockDiag>,
         ) = match (&fixed_parts, reg) {
             (Some((l, (lp, lm))), _) => (Some(l), Some(lp), Some(lm)),
             (None, GraphRegularizer::Ensemble { candidates, mu }) => {
@@ -227,9 +228,10 @@ pub fn run_engine(
                     .collect::<std::result::Result<_, _>>()?;
                 let target: Vec<f64> = traces.iter().map(|&t| -t / (2.0 * mu)).collect();
                 let beta_w = project_simplex(&target, 1.0);
-                // L = Σ β L̂ over the shared block layout.
-                let mut acc = candidates[0].map(|_| 0.0);
-                for (cand, &b) in candidates.iter().zip(&beta_w) {
+                // L = Σ β L̂ over the shared block layout (sparse
+                // patterns merge; the combination never densifies).
+                let mut acc = candidates[0].scaled(beta_w[0]);
+                for (cand, &b) in candidates.iter().zip(&beta_w).skip(1) {
                     acc = acc.lin_comb(1.0, cand, b).expect("same layout");
                 }
                 ensemble_weights = Some(beta_w);
@@ -368,7 +370,7 @@ mod tests {
     use super::*;
     use crate::kmeans::{kmeans, labels_to_membership};
     use mtrl_datagen::corpus::{generate, CorpusConfig};
-    use mtrl_graph::{laplacian_dense, pnn_graph, LaplacianKind, WeightScheme};
+    use mtrl_graph::{laplacian_csr, pnn_graph, LaplacianKind, WeightScheme};
     use mtrl_linalg::block::stack_membership;
 
     fn tiny_data() -> (MultiTypeData, mtrl_datagen::MultiTypeCorpus) {
@@ -403,16 +405,16 @@ mod tests {
         stack_membership(&blocks)
     }
 
-    fn pnn_block_laplacian(data: &MultiTypeData) -> BlockDiag {
-        let blocks: Vec<Mat> = data
+    fn pnn_block_laplacian(data: &MultiTypeData) -> SparseBlockDiag {
+        let blocks = data
             .all_features()
             .iter()
             .map(|f| {
                 let w = pnn_graph(f, 5, WeightScheme::Cosine);
-                laplacian_dense(&w, LaplacianKind::SymNormalized)
+                laplacian_csr(&w, LaplacianKind::SymNormalized)
             })
             .collect();
-        BlockDiag::new(blocks).unwrap()
+        SparseBlockDiag::new(blocks).unwrap()
     }
 
     #[test]
@@ -527,13 +529,11 @@ mod tests {
         let mut candidates = Vec::new();
         for p in [3usize, 5] {
             for scheme in [WeightScheme::Binary, WeightScheme::Cosine] {
-                let blocks: Vec<Mat> = feats
+                let blocks = feats
                     .iter()
-                    .map(|f| {
-                        laplacian_dense(&pnn_graph(f, p, scheme), LaplacianKind::SymNormalized)
-                    })
+                    .map(|f| laplacian_csr(&pnn_graph(f, p, scheme), LaplacianKind::SymNormalized))
                     .collect();
-                candidates.push(BlockDiag::new(blocks).unwrap());
+                candidates.push(SparseBlockDiag::new(blocks).unwrap());
             }
         }
         let cfg = EngineConfig {

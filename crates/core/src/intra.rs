@@ -17,9 +17,9 @@
 //! all.
 
 use crate::Result;
-use mtrl_graph::{hetero_ensemble, laplacian_dense, pnn_graph, LaplacianKind, WeightScheme};
-use mtrl_linalg::block::BlockDiag;
+use mtrl_graph::{laplacian_csr, pnn_graph, LaplacianKind, WeightScheme};
 use mtrl_linalg::Mat;
+use mtrl_sparse::SparseBlockDiag;
 use mtrl_subspace::{affinity_to_weights, spg_affinity, SpgConfig};
 
 /// Relative pruning threshold applied to subspace affinities before graph
@@ -36,7 +36,9 @@ const PRUNE_REL: f64 = 1e-4;
 /// pNN member of the ensemble.
 const TOP_K: usize = 10;
 
-/// Per-type pNN Laplacians assembled into a block-diagonal operator.
+/// Per-type pNN Laplacians assembled into a sparse block-diagonal
+/// operator (`O(p·n_k)` stored entries per block — the fit loop never
+/// sees an `n x n` dense matrix).
 ///
 /// `features[k]` holds the objects of type `k` as rows.
 pub fn pnn_laplacians(
@@ -44,12 +46,12 @@ pub fn pnn_laplacians(
     p: usize,
     scheme: WeightScheme,
     kind: LaplacianKind,
-) -> Result<BlockDiag> {
-    let blocks: Vec<Mat> = features
+) -> Result<SparseBlockDiag> {
+    let blocks = features
         .iter()
-        .map(|f| laplacian_dense(&pnn_graph(f, p, scheme), kind))
+        .map(|f| laplacian_csr(&pnn_graph(f, p, scheme), kind))
         .collect();
-    Ok(BlockDiag::new(blocks)?)
+    Ok(SparseBlockDiag::new(blocks)?)
 }
 
 /// Per-type subspace-learned Laplacians (`L_S`) via SPG, as a block
@@ -59,7 +61,7 @@ pub fn subspace_laplacians(
     features: &[Mat],
     base_cfg: &SpgConfig,
     kind: LaplacianKind,
-) -> Result<BlockDiag> {
+) -> Result<SparseBlockDiag> {
     let mut blocks = Vec::with_capacity(features.len());
     for (k, f) in features.iter().enumerate() {
         let cfg = SpgConfig {
@@ -70,9 +72,9 @@ pub fn subspace_laplacians(
         let truncated = truncate_rows_top_k(&res.w, TOP_K);
         let max_w = truncated.max().max(0.0);
         let w = affinity_to_weights(&truncated, PRUNE_REL * max_w);
-        blocks.push(laplacian_dense(&w, kind));
+        blocks.push(laplacian_csr(&w, kind));
     }
-    Ok(BlockDiag::new(blocks)?)
+    Ok(SparseBlockDiag::new(blocks)?)
 }
 
 /// Keep only the `k` largest entries in each row of a nonnegative
@@ -98,18 +100,23 @@ fn truncate_rows_top_k(w: &Mat, k: usize) -> Mat {
 }
 
 /// Combine the two Laplacian families into the heterogeneous manifold
-/// ensemble `L = α·L_S + L_E` (Eq. 12), block by block.
-pub fn hetero_laplacian(l_s: &BlockDiag, l_e: &BlockDiag, alpha: f64) -> Result<BlockDiag> {
-    let blocks: Vec<Mat> = (0..l_s.num_blocks())
-        .map(|k| hetero_ensemble(l_s.block(k), l_e.block(k), alpha))
-        .collect::<std::result::Result<_, _>>()?;
-    Ok(BlockDiag::new(blocks)?)
+/// ensemble `L = α·L_S + L_E` (Eq. 12) with merged sparsity patterns —
+/// both members are sparse, so their ensemble stays sparse.
+///
+/// # Errors
+/// Fails if the block layouts differ.
+pub fn hetero_laplacian(
+    l_s: &SparseBlockDiag,
+    l_e: &SparseBlockDiag,
+    alpha: f64,
+) -> Result<SparseBlockDiag> {
+    Ok(l_s.lin_comb(alpha, l_e, 1.0)?)
 }
 
 /// The six RMC candidate Laplacians of Sec. IV-B: `p ∈ {5, 10}` crossed
 /// with binary / heat-kernel (self-tuned σ) / cosine weighting, each as a
 /// block diagonal over all types.
-pub fn rmc_candidates(features: &[Mat], kind: LaplacianKind) -> Result<Vec<BlockDiag>> {
+pub fn rmc_candidates(features: &[Mat], kind: LaplacianKind) -> Result<Vec<SparseBlockDiag>> {
     let mut out = Vec::with_capacity(6);
     for p in [5usize, 10] {
         for scheme in [
@@ -143,9 +150,28 @@ mod tests {
         assert_eq!(l.n(), 27);
         // Normalised Laplacian diagonals are <= 1.
         for k in 0..2 {
-            for (i, &d) in l.block(k).diag().iter().enumerate() {
+            let block = l.block(k);
+            for i in 0..block.rows() {
+                let d = block.get(i, i);
                 assert!((0.0..=1.0 + 1e-12).contains(&d), "block {k} diag {i}: {d}");
             }
+        }
+    }
+
+    #[test]
+    fn pnn_blocks_are_sparse() {
+        // The point of the sparse pipeline: a pNN Laplacian block stores
+        // O(p·n) entries, far below n².
+        let f = toy_features();
+        let p = 3;
+        let l = pnn_laplacians(&f, p, WeightScheme::Cosine, LaplacianKind::SymNormalized).unwrap();
+        for k in 0..l.num_blocks() {
+            let n_k = l.block(k).rows();
+            assert!(
+                l.block(k).nnz() <= 2 * p * n_k + n_k,
+                "block {k} has {} entries for n_k = {n_k}",
+                l.block(k).nnz()
+            );
         }
     }
 
@@ -160,8 +186,7 @@ mod tests {
         assert_eq!(l.n(), 27);
         // Symmetric blocks.
         for k in 0..2 {
-            let b = l.block(k);
-            assert!(b.approx_eq(&b.transpose(), 1e-9), "block {k} not symmetric");
+            assert!(l.block(k).is_symmetric(1e-9), "block {k} not symmetric");
         }
     }
 
@@ -172,8 +197,12 @@ mod tests {
         let ls = pnn_laplacians(&f, 4, WeightScheme::Binary, LaplacianKind::SymNormalized).unwrap();
         let combo = hetero_laplacian(&ls, &le, 2.0).unwrap();
         for k in 0..2 {
-            let expect = le.block(k).add(&ls.block(k).scaled(2.0)).unwrap();
-            assert!(combo.block(k).approx_eq(&expect, 1e-12));
+            let expect = le
+                .block(k)
+                .to_dense()
+                .add(&ls.block(k).to_dense().scaled(2.0))
+                .unwrap();
+            assert!(combo.block(k).to_dense().approx_eq(&expect, 1e-12));
         }
     }
 

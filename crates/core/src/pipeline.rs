@@ -18,8 +18,8 @@ use crate::rhchme::{init_membership, package_result, Rhchme, RhchmeConfig};
 use crate::Result;
 use mtrl_datagen::MultiTypeCorpus;
 use mtrl_graph::{LaplacianKind, WeightScheme};
-use mtrl_linalg::block::BlockDiag;
 use mtrl_linalg::Mat;
+use mtrl_sparse::SparseBlockDiag;
 use mtrl_subspace::SpgConfig;
 use std::time::{Duration, Instant};
 
@@ -308,8 +308,8 @@ pub struct Artifacts {
     pub features: Vec<Mat>,
     /// k-means initial membership.
     pub g0: Mat,
-    /// pNN Laplacian ensemble member `L_E`.
-    pub l_pnn: BlockDiag,
+    /// pNN Laplacian ensemble member `L_E` (sparse block diagonal).
+    pub l_pnn: SparseBlockDiag,
 }
 
 impl Artifacts {
@@ -346,7 +346,7 @@ impl Artifacts {
         gamma: f64,
         spg_max_iter: usize,
         seed: u64,
-    ) -> Result<BlockDiag> {
+    ) -> Result<SparseBlockDiag> {
         subspace_laplacians(
             &self.features,
             &SpgConfig {
@@ -370,7 +370,7 @@ impl Artifacts {
     #[allow(clippy::too_many_arguments)]
     pub fn run_rhchme_engine(
         &self,
-        l_sub: &BlockDiag,
+        l_sub: &SparseBlockDiag,
         alpha: f64,
         lambda: f64,
         beta: f64,

@@ -21,7 +21,9 @@
 //! * [`split`] — train / held-out document splitting for out-of-sample
 //!   serving experiments.
 //!
-//! Everything is seeded and deterministic.
+//! Everything is seeded and deterministic. The `MTRL_SEED` environment
+//! variable (see [`seed_from_env`]) shifts every seeded experiment so CI
+//! can exercise more than one RNG stream per push.
 
 pub mod corpus;
 pub mod datasets;
@@ -33,3 +35,15 @@ pub use corpus::{CorpusConfig, MultiTypeCorpus};
 pub use datasets::{DatasetId, Scale};
 pub use manifold::{two_circles, union_of_subspaces};
 pub use split::{split_corpus, HeldOutDoc};
+
+/// Base seed from the `MTRL_SEED` environment variable, or `default`
+/// when unset/unparseable. Integration tests add this to their fixed
+/// per-test seeds, so the CI seed matrix (`MTRL_SEED=7,42`) runs the
+/// whole tier-1 suite on genuinely different corpus realisations while
+/// local `cargo test` keeps the historical streams.
+pub fn seed_from_env(default: u64) -> u64 {
+    std::env::var("MTRL_SEED")
+        .ok()
+        .and_then(|v| v.trim().parse::<u64>().ok())
+        .unwrap_or(default)
+}

@@ -4,10 +4,30 @@
 //! neighbours in Euclidean distance are found; edge weights follow the
 //! chosen [`WeightScheme`]. The graph is symmetrised with the "or" rule of
 //! Eq. (3): `(W)_ij = w_ij` if `x_j ∈ N(x_i)` **or** `x_i ∈ N(x_j)`.
+//!
+//! ## The hot path
+//!
+//! Every method in the reproduction funnels through this construction
+//! (Sec. III-F bounds it at `O(n_k² p K)`), so it is both **blocked** and
+//! **parallel**:
+//!
+//! * distances come from the Gram identity
+//!   `‖x_i − x_j‖² = g_i + g_j − 2·x_iᵀx_j`, with the `−2 X_tile Xᵀ`
+//!   term computed one row tile at a time through a vectorisable
+//!   axpy kernel over the pre-transposed data — memory stays
+//!   `O(tile · n)` per worker instead of `O(n²)`;
+//! * row tiles are distributed over [`mtrl_linalg::par`] worker threads.
+//!
+//! Each row's distance vector is accumulated in the same `k` order no
+//! matter which tile or thread computes it, and ties are broken by
+//! neighbour index under `f64::total_cmp`, so neighbour sets are
+//! **bit-identical** for every thread count (see the cross-thread
+//! proptests in `tests/proptest_invariants.rs`).
 
-use mtrl_linalg::vecops::{cosine, sq_dist};
+use mtrl_linalg::par::{num_threads, par_chunks_map};
+use mtrl_linalg::vecops::{cosine, dot, sq_dist};
 use mtrl_linalg::Mat;
-use mtrl_sparse::{Coo, Csr};
+use mtrl_sparse::Csr;
 
 /// Edge weighting schemes of Eq. (3).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -26,13 +46,281 @@ pub enum WeightScheme {
     Cosine,
 }
 
+/// Rows per distance tile: bounds the per-worker scratch at
+/// `TILE * n` doubles (512 KB at `n = 2000`) while keeping the axpy
+/// kernel long enough to vectorise.
+const TILE: usize = 32;
+
+/// Work threshold (`n² d` multiply-adds) below which the row fan-out is
+/// not worth a thread spawn.
+const PAR_THRESHOLD: usize = 1 << 20;
+
 /// Indices of the `p` nearest neighbours (Euclidean) of every row of
 /// `data`, excluding the object itself. Rows with fewer than `p` other
 /// objects return everything available.
 ///
-/// Brute force `O(n² D)` — the paper's complexity analysis (Sec. III-F)
-/// assumes exactly this `O(n_k² p K)` construction.
+/// Ties (including the exact-zero distances of duplicate points) are
+/// broken by ascending neighbour index; NaN distances order *after*
+/// every real distance (`f64::total_cmp`), so a row containing NaN
+/// features is never selected while finite alternatives exist and the
+/// result is always well defined — no panic.
+///
+/// Runs on the [`mtrl_linalg::par`] pool; see
+/// [`knn_indices_with_threads`] for an explicit thread count.
 pub fn knn_indices(data: &Mat, p: usize) -> Vec<Vec<usize>> {
+    knn_indices_with_threads(data, p, auto_threads(data))
+}
+
+/// [`knn_indices`] with an explicit worker-thread count.
+///
+/// The output is bit-identical for every `threads` value.
+pub fn knn_indices_with_threads(data: &Mat, p: usize, threads: usize) -> Vec<Vec<usize>> {
+    let n = data.rows();
+    // Centre the columns before the Gram expansion. Euclidean distances
+    // are translation-invariant, but `gi + gj − 2·xiᵀxj` cancels
+    // catastrophically when ‖x‖² dwarfs the pairwise separations (data
+    // clustered far from the origin — the classic euclidean_distances
+    // pitfall); centring puts the origin inside the cloud where the
+    // expansion is stable. Means are computed once, globally, so every
+    // chunking sees the same centred values.
+    let centered = center_columns(data);
+    let sq_norms: Vec<f64> = (0..n)
+        .map(|i| dot(centered.row(i), centered.row(i)))
+        .collect();
+    let xt = centered.transpose();
+    par_chunks_map(n, threads, |range| {
+        knn_rows(&centered, &xt, &sq_norms, p, range.start, range.end)
+    })
+}
+
+/// Subtract each column's mean. A column whose mean is non-finite (any
+/// NaN/∞ feature) is left untouched so one bad row poisons only its own
+/// distances, exactly like the uncentred kernel.
+fn center_columns(data: &Mat) -> Mat {
+    let (n, d) = data.shape();
+    if n == 0 {
+        return data.clone();
+    }
+    let mut means = vec![0.0; d];
+    for i in 0..n {
+        for (m, &v) in means.iter_mut().zip(data.row(i)) {
+            *m += v;
+        }
+    }
+    for m in &mut means {
+        *m /= n as f64;
+        if !m.is_finite() {
+            *m = 0.0;
+        }
+    }
+    let mut out = data.clone();
+    for i in 0..n {
+        for (v, &m) in out.row_mut(i).iter_mut().zip(&means) {
+            *v -= m;
+        }
+    }
+    out
+}
+
+/// Serial reference: identical kernel on a single chunk. The proptests
+/// assert the parallel paths reproduce this bit for bit.
+pub fn knn_indices_serial(data: &Mat, p: usize) -> Vec<Vec<usize>> {
+    knn_indices_with_threads(data, p, 1)
+}
+
+/// Column-tile width of the Gram micro-kernel: four 4 KB output strips
+/// plus one 4 KB strip of `Xᵀ` stay L1-resident across the `k` loop.
+const JT: usize = 512;
+
+/// Neighbour lists for rows `[r0, r1)` via tiled Gram-trick distances.
+fn knn_rows(
+    data: &Mat,
+    xt: &Mat,
+    sq_norms: &[f64],
+    p: usize,
+    r0: usize,
+    r1: usize,
+) -> Vec<Vec<usize>> {
+    let n = data.rows();
+    let d = data.cols();
+    let mut out = Vec::with_capacity(r1 - r0);
+    let mut tile_buf = vec![0.0; TILE.min(r1 - r0).max(1) * n];
+    let mut scratch: Vec<(f64, usize)> = Vec::with_capacity(p + 1);
+    let mut t0 = r0;
+    while t0 < r1 {
+        let t1 = (t0 + TILE).min(r1);
+        let rows = t1 - t0;
+        // tile_buf[local] = −2 · X[t0 + local] · Xᵀ. Every output row is
+        // accumulated over k in ascending order with no skip, so the
+        // value of dist(i, j) is independent of tiles, register blocking
+        // and threads — the bit-identity guarantee of the module docs.
+        tile_buf[..rows * n].fill(0.0);
+        let mut brows: Vec<&mut [f64]> = tile_buf[..rows * n].chunks_mut(n).collect();
+        for (g, group) in brows.chunks_mut(4).enumerate() {
+            let i0 = t0 + g * 4;
+            if let [b0, b1, b2, b3] = group {
+                // Register-blocked micro-kernel: four output rows share
+                // each streamed strip of Xᵀ (quartering Xᵀ traffic) and
+                // the k dimension is unrolled by four so each output
+                // load/store amortises over four FMAs. `mul_add` maps to
+                // one hardware FMA per element (the repo builds with
+                // `target-cpu=native`, see .cargo/config.toml); on
+                // FMA-less targets it falls back to a slow libm call but
+                // stays exact. A nested `mul_add` chain performs the
+                // exact same rounding sequence as the sequential k loop
+                // of the remainder kernel below, keeping every path
+                // bit-identical.
+                let xr = [
+                    data.row(i0),
+                    data.row(i0 + 1),
+                    data.row(i0 + 2),
+                    data.row(i0 + 3),
+                ];
+                let mut jt = 0;
+                while jt < n {
+                    let je = (jt + JT).min(n);
+                    let mut k = 0;
+                    while k + 4 <= d {
+                        let xk = [
+                            &xt.row(k)[jt..je],
+                            &xt.row(k + 1)[jt..je],
+                            &xt.row(k + 2)[jt..je],
+                            &xt.row(k + 3)[jt..je],
+                        ];
+                        for (b, x) in [&mut **b0, b1, b2, b3].into_iter().zip(xr) {
+                            let a = [
+                                -2.0 * x[k],
+                                -2.0 * x[k + 1],
+                                -2.0 * x[k + 2],
+                                -2.0 * x[k + 3],
+                            ];
+                            axpy4_fma(&mut b[jt..je], a, xk);
+                        }
+                        k += 4;
+                    }
+                    while k < d {
+                        let xk = &xt.row(k)[jt..je];
+                        for (b, x) in [&mut **b0, b1, b2, b3].into_iter().zip(xr) {
+                            axpy1_fma(&mut b[jt..je], -2.0 * x[k], xk);
+                        }
+                        k += 1;
+                    }
+                    jt = je;
+                }
+            } else {
+                // Remainder rows one at a time; per-(i, j) arithmetic is
+                // the same k-ascending accumulation as the quad kernel.
+                for (local, brow) in group.iter_mut().enumerate() {
+                    let xrow = data.row(i0 + local);
+                    for (k, &xv) in xrow.iter().enumerate() {
+                        axpy1_fma(brow, -2.0 * xv, xt.row(k));
+                    }
+                }
+            }
+        }
+        for local in 0..rows {
+            let i = t0 + local;
+            let brow = &tile_buf[local * n..(local + 1) * n];
+            out.push(top_p_scan(brow, sq_norms, i, p, &mut scratch));
+        }
+        t0 = t1;
+    }
+    out
+}
+
+/// `o[j] += a · x[j]` as one FMA per element.
+#[inline]
+fn axpy1_fma(o: &mut [f64], a: f64, x: &[f64]) {
+    for (ov, &xv) in o.iter_mut().zip(x) {
+        *ov = a.mul_add(xv, *ov);
+    }
+}
+
+/// Four accumulation steps per element in ascending-k order:
+/// `o[j] += a₀x₀[j]; o[j] += a₁x₁[j]; …` as a nested FMA chain — the
+/// same rounding sequence as four [`axpy1_fma`] calls, with the output
+/// load/store amortised over all four.
+#[inline]
+fn axpy4_fma(o: &mut [f64], a: [f64; 4], x: [&[f64]; 4]) {
+    let [x0, x1, x2, x3] = x;
+    for ((((ov, &v0), &v1), &v2), &v3) in o.iter_mut().zip(x0).zip(x1).zip(x2).zip(x3) {
+        *ov = a[3].mul_add(
+            v3,
+            a[2].mul_add(v2, a[1].mul_add(v1, a[0].mul_add(v0, *ov))),
+        );
+    }
+}
+
+/// `(dist, index)` strict total order: `f64::total_cmp` on the distance
+/// (NaN greater than every real), ascending index on ties. Both selection
+/// paths — this scan and [`select_p_nearest`] — pick the `p` smallest
+/// elements of the same order, so their neighbour *sets* always agree.
+#[inline]
+fn dist_less(a: (f64, usize), b: (f64, usize)) -> bool {
+    a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)) == std::cmp::Ordering::Less
+}
+
+/// Single fused pass over one row's distance strip: `dist(i, j) =
+/// g_i + g_j + buf_j` and a `p`-element insertion set, no scratch tuple
+/// vector. Expected insertions are `O(p log n)`, so the scan is one
+/// compare per candidate almost everywhere.
+fn top_p_scan(
+    brow: &[f64],
+    sq_norms: &[f64],
+    i: usize,
+    p: usize,
+    best: &mut Vec<(f64, usize)>,
+) -> Vec<usize> {
+    best.clear();
+    if p == 0 {
+        return Vec::new();
+    }
+    let gi = sq_norms[i];
+    for (j, (&b, &gj)) in brow.iter().zip(sq_norms).enumerate() {
+        if j == i {
+            continue;
+        }
+        let cand = (gi + gj + b, j);
+        if best.len() < p {
+            let pos = best.partition_point(|&e| dist_less(e, cand));
+            best.insert(pos, cand);
+        } else {
+            let worst = *best.last().expect("p > 0");
+            // Fast path: strictly worse than the current cut (false for
+            // NaN, which then loses in dist_less below).
+            if cand.0 > worst.0 {
+                continue;
+            }
+            if dist_less(cand, worst) {
+                let pos = best.partition_point(|&e| dist_less(e, cand));
+                best.insert(pos, cand);
+                best.pop();
+            }
+        }
+    }
+    let mut neigh: Vec<usize> = best.iter().map(|&(_, j)| j).collect();
+    neigh.sort_unstable();
+    neigh
+}
+
+/// Take the `p` smallest `(distance, index)` pairs, total-ordered with
+/// index tie-break, returned as index-sorted neighbour lists.
+fn select_p_nearest(scratch: &mut [(f64, usize)], p: usize) -> Vec<usize> {
+    let k = p.min(scratch.len());
+    if k > 0 && k < scratch.len() {
+        scratch.select_nth_unstable_by(k - 1, |a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+    }
+    let mut neigh: Vec<usize> = scratch[..k].iter().map(|&(_, j)| j).collect();
+    neigh.sort_unstable();
+    neigh
+}
+
+/// The seed repository's brute-force construction (serial `sq_dist`
+/// per pair), kept as the correctness and performance reference for the
+/// blocked kernel. Exposed for the tests and the `micro_graph` bench —
+/// not part of the supported API.
+#[doc(hidden)]
+pub fn knn_indices_brute_reference(data: &Mat, p: usize) -> Vec<Vec<usize>> {
     let n = data.rows();
     let mut out = Vec::with_capacity(n);
     let mut scratch: Vec<(f64, usize)> = Vec::with_capacity(n.saturating_sub(1));
@@ -45,32 +333,25 @@ pub fn knn_indices(data: &Mat, p: usize) -> Vec<Vec<usize>> {
             }
             scratch.push((sq_dist(xi, data.row(j)), j));
         }
-        let k = p.min(scratch.len());
-        if k > 0 {
-            scratch.select_nth_unstable_by(k - 1, |a, b| {
-                a.0.partial_cmp(&b.0).expect("NaN distance in knn")
-            });
-        }
-        let mut neigh: Vec<usize> = scratch[..k].iter().map(|&(_, j)| j).collect();
-        neigh.sort_unstable();
-        out.push(neigh);
+        out.push(select_p_nearest(&mut scratch, p));
     }
     out
 }
 
-/// Build the symmetric pNN weight matrix `W_E` of Eq. (3).
-///
-/// `data` holds one object per row. The output is a symmetric nonnegative
-/// sparse matrix with zero diagonal.
-pub fn pnn_graph(data: &Mat, p: usize, scheme: WeightScheme) -> Csr {
+/// The seed repository's full serial `pnn_graph` path (brute-force kNN
+/// plus a COO round-trip) — the baseline the `micro_graph` scaling bench
+/// and the committed `BENCH_graph.json` measure speedups against. Not
+/// part of the supported API.
+#[doc(hidden)]
+pub fn pnn_graph_brute_reference(data: &Mat, p: usize, scheme: WeightScheme) -> Csr {
     let n = data.rows();
-    let neighbours = knn_indices(data, p);
+    let neighbours = knn_indices_brute_reference(data, p);
     let sigma = match scheme {
         WeightScheme::HeatKernel { sigma } if sigma <= 0.0 => self_tuning_sigma(data, &neighbours),
         WeightScheme::HeatKernel { sigma } => sigma,
         _ => 1.0,
     };
-    let mut coo = Coo::with_capacity(n, n, 2 * p * n);
+    let mut coo = mtrl_sparse::Coo::with_capacity(n, n, 2 * p * n);
     for (i, neigh) in neighbours.iter().enumerate() {
         let xi = data.row(i);
         for &j in neigh {
@@ -84,9 +365,70 @@ pub fn pnn_graph(data: &Mat, p: usize, scheme: WeightScheme) -> Csr {
             }
         }
     }
+    coo.to_csr().max_symmetrize()
+}
+
+fn auto_threads(data: &Mat) -> usize {
+    let n = data.rows();
+    if n * n * data.cols() < PAR_THRESHOLD {
+        1
+    } else {
+        num_threads()
+    }
+}
+
+/// Build the symmetric pNN weight matrix `W_E` of Eq. (3).
+///
+/// `data` holds one object per row. The output is a symmetric nonnegative
+/// sparse matrix with zero diagonal. Runs on the [`mtrl_linalg::par`]
+/// pool; see [`pnn_graph_with_threads`] for an explicit thread count.
+pub fn pnn_graph(data: &Mat, p: usize, scheme: WeightScheme) -> Csr {
+    pnn_graph_with_threads(data, p, scheme, auto_threads(data))
+}
+
+/// [`pnn_graph`] with an explicit worker-thread count; bit-identical
+/// output for every `threads` value.
+pub fn pnn_graph_with_threads(data: &Mat, p: usize, scheme: WeightScheme, threads: usize) -> Csr {
+    let n = data.rows();
+    let neighbours = knn_indices_with_threads(data, p, threads);
+    let sigma = match scheme {
+        WeightScheme::HeatKernel { sigma } if sigma <= 0.0 => self_tuning_sigma(data, &neighbours),
+        WeightScheme::HeatKernel { sigma } => sigma,
+        _ => 1.0,
+    };
+    // Edge weights per row, computed with the same pairwise formulas as
+    // the seed path (weights depend only on the neighbour pair, never on
+    // the chunking).
+    let weights: Vec<Vec<f64>> = par_chunks_map(n, threads, |range| {
+        range
+            .map(|i| {
+                let xi = data.row(i);
+                neighbours[i]
+                    .iter()
+                    .map(|&j| match scheme {
+                        WeightScheme::Binary => 1.0,
+                        WeightScheme::HeatKernel { .. } => {
+                            (-sq_dist(xi, data.row(j)) / sigma).exp()
+                        }
+                        WeightScheme::Cosine => cosine(xi, data.row(j)).max(0.0),
+                    })
+                    .collect()
+            })
+            .collect()
+    });
+    // Neighbour lists are index-sorted, so the CSR assembles directly.
+    let mut out = mtrl_sparse::CsrBuilder::with_capacity(n, n, 2 * p * n);
+    for (neigh, ws) in neighbours.iter().zip(&weights) {
+        for (&j, &w) in neigh.iter().zip(ws) {
+            if w > 0.0 {
+                out.push(j, w);
+            }
+        }
+        out.finish_row();
+    }
     // "or" symmetrisation: keep an edge if either endpoint chose it. Using
     // max avoids double-counting mutual neighbours.
-    coo.to_csr().max_symmetrize()
+    out.build().max_symmetrize()
 }
 
 /// Self-tuning bandwidth: mean squared neighbour distance across the graph.
@@ -143,6 +485,121 @@ mod tests {
         let nn = knn_indices(&data, 5);
         assert_eq!(nn[0], vec![1]);
         assert_eq!(nn[1], vec![0]);
+    }
+
+    #[test]
+    fn knn_single_row_has_no_neighbours() {
+        let data = Mat::from_rows(&[vec![1.0, 2.0]]).unwrap();
+        let nn = knn_indices(&data, 4);
+        assert_eq!(nn, vec![Vec::<usize>::new()]);
+    }
+
+    #[test]
+    fn gram_kernel_matches_brute_reference() {
+        for (n, d, p, seed) in [(30, 5, 4, 70), (57, 17, 6, 71), (16, 1, 3, 72)] {
+            let data = rand_uniform(n, d, -1.0, 1.0, seed);
+            assert_eq!(
+                knn_indices_serial(&data, p),
+                knn_indices_brute_reference(&data, p),
+                "n={n} d={d} p={p}"
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_bit_identical_to_serial() {
+        let data = rand_uniform(83, 9, -1.0, 1.0, 73);
+        let serial = knn_indices_serial(&data, 5);
+        for threads in 2..=8 {
+            assert_eq!(
+                knn_indices_with_threads(&data, 5, threads),
+                serial,
+                "threads={threads}"
+            );
+        }
+        let w_serial = pnn_graph_with_threads(&data, 5, WeightScheme::Cosine, 1);
+        for threads in 2..=8 {
+            let w = pnn_graph_with_threads(&data, 5, WeightScheme::Cosine, threads);
+            assert_eq!(w, w_serial, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn blocked_graph_matches_seed_reference_path() {
+        let data = rand_uniform(64, 7, 0.0, 1.0, 74);
+        for scheme in [
+            WeightScheme::Binary,
+            WeightScheme::HeatKernel { sigma: -1.0 },
+            WeightScheme::Cosine,
+        ] {
+            let seed_path = pnn_graph_brute_reference(&data, 5, scheme);
+            let blocked = pnn_graph(&data, 5, scheme);
+            assert_eq!(blocked, seed_path, "{scheme:?}");
+        }
+    }
+
+    #[test]
+    fn far_from_origin_clusters_stay_stable() {
+        // Regression: without column centring, gi + gj − 2·xiᵀxj loses
+        // ~16 digits to cancellation when the cloud sits at ~1e8 and the
+        // separations are ~1e-3, returning junk neighbours. The stable
+        // sq_dist brute path is the ground truth here.
+        let base = rand_uniform(60, 4, -1e-3, 1e-3, 75);
+        let shifted = Mat::from_fn(60, 4, |i, j| 1.0e8 + base[(i, j)]);
+        let nn = knn_indices(&shifted, 4);
+        assert_eq!(nn, knn_indices_brute_reference(&shifted, 4));
+        // And the parallel paths agree bit for bit as always.
+        for threads in 2..=4 {
+            assert_eq!(knn_indices_with_threads(&shifted, 4, threads), nn);
+        }
+    }
+
+    #[test]
+    fn duplicate_points_break_ties_by_index() {
+        // Four identical points plus one far away: the duplicates are at
+        // exact distance zero of each other and ties resolve to the
+        // lowest indices, identically in every path.
+        let data = Mat::from_rows(&[
+            vec![1.0, 2.0],
+            vec![1.0, 2.0],
+            vec![1.0, 2.0],
+            vec![1.0, 2.0],
+            vec![50.0, 50.0],
+        ])
+        .unwrap();
+        let nn = knn_indices(&data, 2);
+        assert_eq!(nn[0], vec![1, 2]);
+        assert_eq!(nn[1], vec![0, 2]);
+        assert_eq!(nn[4], vec![0, 1]);
+        assert_eq!(knn_indices_serial(&data, 2), nn);
+        assert_eq!(knn_indices_brute_reference(&data, 2), nn);
+    }
+
+    #[test]
+    fn nan_rows_do_not_panic_and_sort_last() {
+        // Regression: the seed path panicked on NaN distances via
+        // `partial_cmp().expect()` inside the selection. NaN distances
+        // now order after every finite distance.
+        let data = Mat::from_rows(&[
+            vec![0.0, 0.0],
+            vec![1.0, 0.0],
+            vec![f64::NAN, 1.0],
+            vec![2.0, 0.0],
+        ])
+        .unwrap();
+        let nn = knn_indices(&data, 2);
+        // Finite rows never pick the NaN row while finite rows remain.
+        assert_eq!(nn[0], vec![1, 3]);
+        assert_eq!(nn[1], vec![0, 3]);
+        assert_eq!(nn[3], vec![0, 1]);
+        // The NaN row's own distances are all NaN; selection still
+        // returns a deterministic, valid list (lowest indices).
+        assert_eq!(nn[2].len(), 2);
+        assert!(!nn[2].contains(&2));
+        assert_eq!(knn_indices_brute_reference(&data, 2), nn);
+        // And the graph construction stays finite-shaped too.
+        let w = pnn_graph(&data, 2, WeightScheme::Binary);
+        assert_eq!(w.rows(), 4);
     }
 
     #[test]

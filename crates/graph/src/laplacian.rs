@@ -21,46 +21,88 @@ pub enum LaplacianKind {
     SymNormalized,
 }
 
+/// Degree floor below which a vertex counts as isolated (its row of `W`
+/// carries no usable mass and normalisation would divide by ~zero).
+const DEGREE_FLOOR: f64 = 1e-300;
+
+/// Build a **sparse** Laplacian from a symmetric nonnegative weight
+/// matrix — the form the fit loop consumes. A pNN graph has at most
+/// `2pn` edges, so `L` has at most `2pn + n` stored entries and the
+/// engine's `L·G` products stay `O(nnz · c)` instead of `O(n² c)`.
+///
+/// Exact zeros (isolated vertices' diagonal) are not stored; the result
+/// satisfies every [`Csr`] invariant.
+///
+/// # Panics
+/// Panics if `w` is not square.
+pub fn laplacian_csr(w: &Csr, kind: LaplacianKind) -> Csr {
+    assert_eq!(w.rows(), w.cols(), "laplacian of a non-square matrix");
+    let n = w.rows();
+    let degrees = w.row_sums();
+    let inv_sqrt: Vec<f64> = match kind {
+        LaplacianKind::Unnormalized => Vec::new(),
+        LaplacianKind::SymNormalized => degrees
+            .iter()
+            .map(|&d| {
+                if d > DEGREE_FLOOR {
+                    1.0 / d.sqrt()
+                } else {
+                    0.0
+                }
+            })
+            .collect(),
+    };
+    let mut out = mtrl_sparse::CsrBuilder::with_capacity(n, n, w.nnz() + n);
+    for i in 0..n {
+        let (cols, vals) = w.row(i);
+        // The diagonal value mirrors the dense construction bit for bit:
+        // off-diagonal contributions are negated weights and the diagonal
+        // accumulates degree (resp. +1) on top of any W_ii entry.
+        let mut diag = match kind {
+            LaplacianKind::Unnormalized => degrees[i],
+            LaplacianKind::SymNormalized => {
+                if degrees[i] > DEGREE_FLOOR {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+        };
+        let mut diag_written = false;
+        for (&j, &v) in cols.iter().zip(vals) {
+            let off = match kind {
+                LaplacianKind::Unnormalized => -v,
+                LaplacianKind::SymNormalized => -(v * inv_sqrt[i] * inv_sqrt[j]),
+            };
+            if j == i {
+                diag += off;
+                continue;
+            }
+            if j > i && !diag_written {
+                out.push(i, diag);
+                diag_written = true;
+            }
+            out.push(j, off);
+        }
+        if !diag_written {
+            out.push(i, diag);
+        }
+        out.finish_row();
+    }
+    out.build()
+}
+
 /// Build a dense Laplacian block from a symmetric nonnegative weight
 /// matrix.
 ///
-/// The output is dense because the multiplicative update needs the
-/// positive/negative part split `L = L⁺ − L⁻` of Eq. (21), and per-type
-/// blocks are small enough (`n_k x n_k`) that dense is the right call.
+/// This is a thin `.to_dense()` shim over [`laplacian_csr`], kept for
+/// tests and for consumers that genuinely need the dense form (e.g. the
+/// Jacobi eigensolver); the fit loop uses the sparse construction.
 ///
 /// # Panics
 /// Panics if `w` is not square.
 pub fn laplacian_dense(w: &Csr, kind: LaplacianKind) -> Mat {
-    assert_eq!(w.rows(), w.cols(), "laplacian of a non-square matrix");
-    let n = w.rows();
-    let degrees = w.row_sums();
-    let mut l = Mat::zeros(n, n);
-    match kind {
-        LaplacianKind::Unnormalized => {
-            for (i, j, v) in w.iter() {
-                l[(i, j)] -= v;
-            }
-            for i in 0..n {
-                l[(i, i)] += degrees[i];
-            }
-        }
-        LaplacianKind::SymNormalized => {
-            let inv_sqrt: Vec<f64> = degrees
-                .iter()
-                .map(|&d| if d > 1e-300 { 1.0 / d.sqrt() } else { 0.0 })
-                .collect();
-            for (i, j, v) in w.iter() {
-                l[(i, j)] -= v * inv_sqrt[i] * inv_sqrt[j];
-            }
-            for i in 0..n {
-                // Isolated vertices keep L_ii = 0 (their row of W is zero).
-                if degrees[i] > 1e-300 {
-                    l[(i, i)] += 1.0;
-                }
-            }
-        }
-    }
-    l
+    laplacian_csr(w, kind).to_dense()
 }
 
 /// Degree vector `D_ii = Σ_j W_ij`.
@@ -169,5 +211,91 @@ mod tests {
     fn degrees_match_row_sums() {
         let w = path3();
         assert_eq!(degrees(&w), vec![1.0, 2.0, 1.0]);
+    }
+
+    /// The seed repository's dense construction, kept verbatim as the
+    /// reference the sparse builder must reproduce bit for bit.
+    fn dense_reference(w: &Csr, kind: LaplacianKind) -> Mat {
+        let n = w.rows();
+        let degrees = w.row_sums();
+        let mut l = Mat::zeros(n, n);
+        match kind {
+            LaplacianKind::Unnormalized => {
+                for (i, j, v) in w.iter() {
+                    l[(i, j)] -= v;
+                }
+                for i in 0..n {
+                    l[(i, i)] += degrees[i];
+                }
+            }
+            LaplacianKind::SymNormalized => {
+                let inv_sqrt: Vec<f64> = degrees
+                    .iter()
+                    .map(|&d| if d > 1e-300 { 1.0 / d.sqrt() } else { 0.0 })
+                    .collect();
+                for (i, j, v) in w.iter() {
+                    l[(i, j)] -= v * inv_sqrt[i] * inv_sqrt[j];
+                }
+                for i in 0..n {
+                    if degrees[i] > 1e-300 {
+                        l[(i, i)] += 1.0;
+                    }
+                }
+            }
+        }
+        l
+    }
+
+    #[test]
+    fn csr_matches_dense_construction_bitwise() {
+        use crate::knn::pnn_graph;
+        use crate::knn::WeightScheme;
+        use mtrl_linalg::random::rand_uniform;
+        let data = rand_uniform(40, 6, 0.0, 1.0, 77);
+        for scheme in [
+            WeightScheme::Cosine,
+            WeightScheme::HeatKernel { sigma: -1.0 },
+        ] {
+            let w = pnn_graph(&data, 4, scheme);
+            for kind in [LaplacianKind::Unnormalized, LaplacianKind::SymNormalized] {
+                let sparse = laplacian_csr(&w, kind);
+                let reference = dense_reference(&w, kind);
+                assert_eq!(
+                    sparse.to_dense().as_slice(),
+                    reference.as_slice(),
+                    "{kind:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn csr_isolated_vertex_stores_no_zero() {
+        let mut c = Coo::new(3, 3);
+        c.push(0, 1, 1.0);
+        c.push(1, 0, 1.0);
+        let w = c.to_csr();
+        let l = laplacian_csr(&w, LaplacianKind::SymNormalized);
+        // Vertex 2 is isolated: no stored entries in its row at all.
+        assert_eq!(l.row(2).0.len(), 0);
+        for (_, _, v) in l.iter() {
+            assert_ne!(v, 0.0, "stored explicit zero");
+        }
+    }
+
+    #[test]
+    fn csr_handles_explicit_diagonal_weights() {
+        // General W with a diagonal entry: the Laplacian folds it into
+        // the diagonal exactly like the dense path.
+        let mut c = Coo::new(2, 2);
+        c.push(0, 0, 0.5);
+        c.push(0, 1, 1.0);
+        c.push(1, 0, 1.0);
+        let w = c.to_csr();
+        for kind in [LaplacianKind::Unnormalized, LaplacianKind::SymNormalized] {
+            let sparse = laplacian_csr(&w, kind).to_dense();
+            let reference = dense_reference(&w, kind);
+            assert_eq!(sparse.as_slice(), reference.as_slice(), "{kind:?}");
+        }
     }
 }

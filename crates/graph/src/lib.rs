@@ -13,9 +13,13 @@
 //!   mixing the subspace-learned Laplacian with the pNN one.
 //!
 //! Graphs are built over objects given as **rows** of a dense feature
-//! matrix; the resulting weight matrices are sparse ([`mtrl_sparse::Csr`])
-//! and the Laplacians dense per-type blocks ([`mtrl_linalg::Mat`]), ready
-//! for the positive/negative splits of the multiplicative update.
+//! matrix with a parallel, blocked Gram-trick kernel (see [`knn`]) whose
+//! output is bit-identical for every thread count. The weight matrices
+//! are sparse ([`mtrl_sparse::Csr`]) and the Laplacians stay sparse too
+//! ([`laplacian_csr`], ≤ `2pn + n` entries) — the positive/negative
+//! splits and `L·G` products of the multiplicative update run on CSR
+//! blocks; [`laplacian_dense`] remains as a `.to_dense()` shim for
+//! spectral utilities and tests.
 
 pub mod components;
 pub mod ensemble;
@@ -24,5 +28,8 @@ pub mod laplacian;
 mod serde_impl;
 
 pub use ensemble::{hetero_ensemble, linear_combination};
-pub use knn::{knn_indices, pnn_graph, WeightScheme};
-pub use laplacian::{laplacian_dense, LaplacianKind};
+pub use knn::{
+    knn_indices, knn_indices_serial, knn_indices_with_threads, pnn_graph, pnn_graph_with_threads,
+    WeightScheme,
+};
+pub use laplacian::{laplacian_csr, laplacian_dense, LaplacianKind};

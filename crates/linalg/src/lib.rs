@@ -10,6 +10,8 @@
 //!
 //! * [`Mat`] — a row-major dense `f64` matrix with cache-friendly row access;
 //! * blocked and multi-threaded matrix products ([`ops`]);
+//! * the scoped-thread worker pool shared by every parallel kernel in
+//!   the workspace ([`par`]; `MTRL_NUM_THREADS` overrides the count);
 //! * norms used by the paper: Frobenius, `l1`, `l2,1` ([`norms`]);
 //! * Gauss–Jordan inversion, Cholesky, LU solve ([`solve`]);
 //! * a Jacobi symmetric eigensolver ([`eigen`]) for spectral utilities;
@@ -30,6 +32,7 @@ pub mod error;
 pub mod mat;
 pub mod norms;
 pub mod ops;
+pub mod par;
 pub mod parts;
 pub mod random;
 mod serde_impl;

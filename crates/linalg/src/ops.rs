@@ -13,32 +13,16 @@
 
 use crate::error::LinalgError;
 use crate::mat::Mat;
+use crate::par::par_row_chunks;
 use crate::Result;
-use std::sync::OnceLock;
+
+// Thread-count control lives in [`crate::par`]; re-exported here because
+// this module was its historical home.
+pub use crate::par::{num_threads, set_num_threads};
 
 /// Work threshold (`m * k * n` multiply-adds) above which products go
 /// multi-threaded. Below it, thread spawn overhead dominates.
 const PAR_THRESHOLD: usize = 1 << 22;
-
-static NUM_THREADS: OnceLock<usize> = OnceLock::new();
-
-/// Number of worker threads used by the parallel kernels.
-///
-/// Defaults to `min(available_parallelism, 16)`; override once per process
-/// with [`set_num_threads`].
-pub fn num_threads() -> usize {
-    *NUM_THREADS.get_or_init(|| {
-        std::thread::available_parallelism()
-            .map(|n| n.get().min(16))
-            .unwrap_or(1)
-    })
-}
-
-/// Fix the worker-thread count (first call wins; later calls are ignored).
-/// Useful to make Criterion runs comparable across machines.
-pub fn set_num_threads(n: usize) {
-    let _ = NUM_THREADS.set(n.max(1));
-}
 
 /// Dense product `A * B`.
 ///
@@ -288,28 +272,6 @@ fn nt_rows_into(a: &Mat, b: &Mat, chunk: &mut [f64], r0: usize, r1: usize) {
             *o = arow.iter().zip(brow).map(|(x, y)| x * y).sum();
         }
     }
-}
-
-/// Split `out` (an `m x n` row-major buffer) into per-thread row chunks and
-/// run `f(r0, r1, chunk)` on each in parallel.
-fn par_row_chunks(
-    out: &mut [f64],
-    m: usize,
-    n: usize,
-    f: impl Fn(usize, usize, &mut [f64]) + Sync,
-) {
-    let threads = num_threads().min(m);
-    let rows_per = m.div_ceil(threads);
-    std::thread::scope(|scope| {
-        for (idx, chunk) in out.chunks_mut(rows_per * n).enumerate() {
-            let f = &f;
-            scope.spawn(move || {
-                let r0 = idx * rows_per;
-                let r1 = (r0 + chunk.len() / n.max(1)).min(m);
-                f(r0, r1, chunk);
-            });
-        }
-    });
 }
 
 #[cfg(test)]

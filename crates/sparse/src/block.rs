@@ -1,0 +1,268 @@
+//! Sparse block-diagonal operator.
+//!
+//! Section I-A of the paper makes the global intra-type Laplacian `L`
+//! block diagonal with one `n_k x n_k` block per object type, and a pNN
+//! Laplacian block carries at most `2pn_k + n_k` entries. Keeping the
+//! blocks in CSR form turns the fit loop's `L·G` products into
+//! `O(nnz · c)` work and its `tr(GᵀLG)` regulariser into `O(nnz · c)`
+//! reductions — no `n x n` matrix is ever materialised while fitting.
+//!
+//! This is the sparse sibling of [`mtrl_linalg::BlockDiag`] and shares
+//! its [`BlockSpec`] layout type; [`SparseBlockDiag::to_block_diag`]
+//! densifies for the tests and the spectral utilities.
+
+use crate::Csr;
+use mtrl_linalg::block::{BlockDiag, BlockSpec};
+use mtrl_linalg::error::LinalgError;
+use mtrl_linalg::Mat;
+
+/// Block-diagonal square matrix with one square sparse block per type.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SparseBlockDiag {
+    blocks: Vec<Csr>,
+    spec: BlockSpec,
+}
+
+impl SparseBlockDiag {
+    /// Assemble from square sparse blocks.
+    ///
+    /// # Errors
+    /// Returns [`LinalgError::NotSquare`] if any block is not square.
+    pub fn new(blocks: Vec<Csr>) -> Result<Self, LinalgError> {
+        for b in &blocks {
+            if b.rows() != b.cols() {
+                return Err(LinalgError::NotSquare {
+                    op: "SparseBlockDiag::new",
+                    shape: b.shape(),
+                });
+            }
+        }
+        let sizes: Vec<usize> = blocks.iter().map(|b| b.rows()).collect();
+        Ok(SparseBlockDiag {
+            blocks,
+            spec: BlockSpec::from_sizes(&sizes),
+        })
+    }
+
+    /// The underlying block layout.
+    pub fn spec(&self) -> &BlockSpec {
+        &self.spec
+    }
+
+    /// Number of blocks.
+    pub fn num_blocks(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Borrow block `k`.
+    pub fn block(&self, k: usize) -> &Csr {
+        &self.blocks[k]
+    }
+
+    /// Total stacked dimension `n`.
+    pub fn n(&self) -> usize {
+        self.spec.total()
+    }
+
+    /// Total stored entries over all blocks.
+    pub fn nnz(&self) -> usize {
+        self.blocks.iter().map(Csr::nnz).sum()
+    }
+
+    /// Product with a stacked dense matrix: `out = blockdiag(L_k) * G`,
+    /// `O(nnz · c)`. Each block product runs on the [`mtrl_linalg::par`]
+    /// pool (see [`Csr::spmm_dense`]).
+    ///
+    /// # Errors
+    /// Returns [`LinalgError::ShapeMismatch`] if `g.rows() != n`.
+    pub fn mul_dense(&self, g: &Mat) -> Result<Mat, LinalgError> {
+        if g.rows() != self.n() {
+            return Err(LinalgError::ShapeMismatch {
+                op: "SparseBlockDiag::mul_dense",
+                lhs: (self.n(), self.n()),
+                rhs: g.shape(),
+            });
+        }
+        let mut out = Mat::zeros(g.rows(), g.cols());
+        for (k, block) in self.blocks.iter().enumerate() {
+            block.spmm_dense_at(g, self.spec.offset(k), &mut out);
+        }
+        Ok(out)
+    }
+
+    /// The quadratic form `tr(Gᵀ L G) = Σ_k tr(G_kᵀ L_k G_k)` in
+    /// `O(nnz · c)` without materialising `L G` or copying `G` blocks.
+    ///
+    /// # Errors
+    /// Returns [`LinalgError::ShapeMismatch`] if `g.rows() != n`.
+    pub fn trace_quad(&self, g: &Mat) -> Result<f64, LinalgError> {
+        if g.rows() != self.n() {
+            return Err(LinalgError::ShapeMismatch {
+                op: "SparseBlockDiag::trace_quad",
+                lhs: (self.n(), self.n()),
+                rhs: g.shape(),
+            });
+        }
+        Ok(self
+            .blocks
+            .iter()
+            .enumerate()
+            .map(|(k, block)| block.quad_form_at(g, self.spec.offset(k)))
+            .sum())
+    }
+
+    /// Linear combination `alpha * self + beta * other`.
+    ///
+    /// # Errors
+    /// Returns [`LinalgError::ShapeMismatch`] if the block layouts differ.
+    pub fn lin_comb(
+        &self,
+        alpha: f64,
+        other: &SparseBlockDiag,
+        beta: f64,
+    ) -> Result<Self, LinalgError> {
+        if self.spec != other.spec {
+            return Err(LinalgError::ShapeMismatch {
+                op: "SparseBlockDiag::lin_comb",
+                lhs: (self.n(), self.n()),
+                rhs: (other.n(), other.n()),
+            });
+        }
+        Ok(SparseBlockDiag {
+            blocks: self
+                .blocks
+                .iter()
+                .zip(&other.blocks)
+                .map(|(a, b)| a.lin_comb(alpha, b, beta))
+                .collect(),
+            spec: self.spec.clone(),
+        })
+    }
+
+    /// Scale every block.
+    pub fn scaled(&self, s: f64) -> Self {
+        SparseBlockDiag {
+            blocks: self.blocks.iter().map(|b| b.scaled(s)).collect(),
+            spec: self.spec.clone(),
+        }
+    }
+
+    /// Split every block into positive and negative parts (Eq. 21 needs
+    /// `L⁺` and `L⁻` separately).
+    pub fn split_parts(&self) -> (SparseBlockDiag, SparseBlockDiag) {
+        let (pos, neg): (Vec<Csr>, Vec<Csr>) = self.blocks.iter().map(Csr::split_parts).unzip();
+        (
+            SparseBlockDiag {
+                blocks: pos,
+                spec: self.spec.clone(),
+            },
+            SparseBlockDiag {
+                blocks: neg,
+                spec: self.spec.clone(),
+            },
+        )
+    }
+
+    /// Densify into the dense block-diagonal sibling (tests, spectral
+    /// utilities, small problems only).
+    pub fn to_block_diag(&self) -> BlockDiag {
+        BlockDiag::new(self.blocks.iter().map(Csr::to_dense).collect())
+            .expect("blocks are square by construction")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Coo;
+    use mtrl_linalg::ops;
+    use mtrl_linalg::random::rand_uniform;
+
+    fn random_block(n: usize, seed: u64) -> Csr {
+        let dense = rand_uniform(n, n, -1.0, 1.0, seed);
+        let mask = rand_uniform(n, n, 0.0, 1.0, seed + 1);
+        let mut c = Coo::new(n, n);
+        for i in 0..n {
+            for j in 0..n {
+                if mask[(i, j)] < 0.3 {
+                    c.push(i, j, dense[(i, j)]);
+                }
+            }
+        }
+        c.to_csr()
+    }
+
+    fn sample() -> SparseBlockDiag {
+        SparseBlockDiag::new(vec![random_block(6, 80), random_block(9, 82)]).unwrap()
+    }
+
+    #[test]
+    fn rejects_non_square_blocks() {
+        let mut c = Coo::new(2, 3);
+        c.push(0, 2, 1.0);
+        assert!(SparseBlockDiag::new(vec![c.to_csr()]).is_err());
+    }
+
+    #[test]
+    fn mul_dense_matches_dense_sibling() {
+        let s = sample();
+        let g = rand_uniform(15, 3, -1.0, 1.0, 84);
+        let fast = s.mul_dense(&g).unwrap();
+        let slow = s.to_block_diag().mul_dense(&g).unwrap();
+        assert!(fast.approx_eq(&slow, 1e-12));
+        assert!(s.mul_dense(&Mat::zeros(4, 2)).is_err());
+    }
+
+    #[test]
+    fn trace_quad_matches_dense_sibling() {
+        let s = sample();
+        let g = rand_uniform(15, 4, -1.0, 1.0, 85);
+        let fast = s.trace_quad(&g).unwrap();
+        let lg = ops::matmul(&s.to_block_diag().to_dense(), &g).unwrap();
+        let slow = ops::trace_product_tn(&lg, &g).unwrap();
+        assert!((fast - slow).abs() < 1e-10);
+    }
+
+    #[test]
+    fn lin_comb_and_scaled() {
+        let a = sample();
+        let b = sample().scaled(0.5);
+        let c = a.lin_comb(2.0, &b, -1.0).unwrap();
+        let expect = a
+            .to_block_diag()
+            .lin_comb(2.0, &b.to_block_diag(), -1.0)
+            .unwrap();
+        assert!(c
+            .to_block_diag()
+            .to_dense()
+            .approx_eq(&expect.to_dense(), 1e-12));
+        // Layout mismatch rejected.
+        let d = SparseBlockDiag::new(vec![random_block(15, 86)]).unwrap();
+        assert!(a.lin_comb(1.0, &d, 1.0).is_err());
+    }
+
+    #[test]
+    fn split_parts_reconstruct_nonneg() {
+        let s = sample();
+        let (p, n) = s.split_parts();
+        for k in 0..s.num_blocks() {
+            assert!(p.block(k).iter().all(|(_, _, v)| v > 0.0));
+            assert!(n.block(k).iter().all(|(_, _, v)| v > 0.0));
+        }
+        let rec = p.lin_comb(1.0, &n, -1.0).unwrap();
+        assert!(rec
+            .to_block_diag()
+            .to_dense()
+            .approx_eq(&s.to_block_diag().to_dense(), 0.0));
+    }
+
+    #[test]
+    fn layout_accessors() {
+        let s = sample();
+        assert_eq!(s.num_blocks(), 2);
+        assert_eq!(s.n(), 15);
+        assert_eq!(s.spec().offset(1), 6);
+        assert!(s.nnz() > 0);
+        assert_eq!(s.block(0).rows(), 6);
+    }
+}

@@ -167,25 +167,178 @@ impl Csr {
         y
     }
 
-    /// Sparse × dense product `self * B` — the workhorse for `R * G`
-    /// when `R` is kept sparse.
+    /// Sparse × dense product `self * B` — the workhorse for `R * G` and
+    /// the engine's `L · G` when the Laplacian is kept sparse.
+    ///
+    /// Output rows are split across the [`mtrl_linalg::par`] pool above a
+    /// work threshold; each row is an independent accumulation, so the
+    /// result is bit-identical for every thread count.
     ///
     /// # Panics
     /// Panics if `self.cols != b.rows()`.
-    pub fn mul_dense(&self, b: &Mat) -> Mat {
-        assert_eq!(self.cols, b.rows(), "mul_dense: dimension mismatch");
+    pub fn spmm_dense(&self, b: &Mat) -> Mat {
+        assert_eq!(self.cols, b.rows(), "spmm_dense: dimension mismatch");
         let mut out = Mat::zeros(self.rows, b.cols());
-        for i in 0..self.rows {
+        self.spmm_dense_at(b, 0, &mut out);
+        out
+    }
+
+    /// [`Self::spmm_dense`] as one diagonal block of a stacked operator:
+    /// multiplies against rows `[offset, offset + cols)` of `b` and
+    /// accumulates into rows `[offset, offset + rows)` of `out` — the
+    /// per-block step of [`crate::SparseBlockDiag::mul_dense`], with no
+    /// submatrix copies.
+    ///
+    /// # Panics
+    /// Panics if either matrix ends before the block does or the column
+    /// counts differ.
+    pub fn spmm_dense_at(&self, b: &Mat, offset: usize, out: &mut Mat) {
+        assert!(
+            b.rows() >= offset + self.cols,
+            "spmm_dense_at: B ends before the block does"
+        );
+        assert!(
+            out.rows() >= offset + self.rows,
+            "spmm_dense_at: out ends before the block does"
+        );
+        assert_eq!(b.cols(), out.cols(), "spmm_dense_at: column mismatch");
+        let n = b.cols();
+        let span = &mut out.as_mut_slice()[offset * n..(offset + self.rows) * n];
+        // nnz * b.cols multiply-adds; below ~1M the row fan-out costs
+        // more than it saves.
+        if self.nnz() * n < (1 << 20) {
+            self.spmm_rows_into(b, offset, span, 0, self.rows);
+        } else {
+            mtrl_linalg::par::par_row_chunks(span, self.rows, n, |r0, r1, chunk| {
+                self.spmm_rows_into(b, offset, chunk, r0, r1)
+            });
+        }
+    }
+
+    /// Accumulate rows `[r0, r1)` of `self * B[offset..]` into `chunk`.
+    fn spmm_rows_into(&self, b: &Mat, offset: usize, chunk: &mut [f64], r0: usize, r1: usize) {
+        let n = b.cols();
+        for (local, i) in (r0..r1).enumerate() {
             let (cols, vals) = self.row(i);
-            let orow = out.row_mut(i);
+            let orow = &mut chunk[local * n..(local + 1) * n];
             for (&j, &v) in cols.iter().zip(vals) {
-                let brow = b.row(j);
+                let brow = b.row(offset + j);
                 for (o, &bv) in orow.iter_mut().zip(brow) {
                     *o += v * bv;
                 }
             }
         }
-        out
+    }
+
+    /// Alias of [`Self::spmm_dense`] kept for the original API name.
+    pub fn mul_dense(&self, b: &Mat) -> Mat {
+        self.spmm_dense(b)
+    }
+
+    /// Quadratic form `tr(Gᵀ A G) = Σ_{(i,j) ∈ nnz(A)} A_ij · (g_i · g_j)`
+    /// without materialising `A·G` — `O(nnz · c)`.
+    ///
+    /// Accumulated serially in row-major entry order so the value is
+    /// deterministic.
+    ///
+    /// # Panics
+    /// Panics if `self` is not square or `g.rows() != self.rows`.
+    pub fn quad_form(&self, g: &Mat) -> f64 {
+        assert_eq!(g.rows(), self.rows, "quad_form: dimension mismatch");
+        self.quad_form_at(g, 0)
+    }
+
+    /// [`Self::quad_form`] against the rows `[offset, offset + n)` of a
+    /// taller stacked `G` — the per-block step of
+    /// [`crate::SparseBlockDiag::trace_quad`], shared here so both
+    /// `tr(GᵀLG)` paths use one accumulation.
+    ///
+    /// # Panics
+    /// Panics if `self` is not square or `g` has fewer than
+    /// `offset + rows` rows.
+    pub fn quad_form_at(&self, g: &Mat, offset: usize) -> f64 {
+        assert_eq!(self.rows, self.cols, "quad_form requires square");
+        assert!(
+            g.rows() >= offset + self.rows,
+            "quad_form_at: G ends before the block does"
+        );
+        let mut acc = 0.0;
+        for i in 0..self.rows {
+            let (cols, vals) = self.row(i);
+            let gi = g.row(offset + i);
+            for (&j, &v) in cols.iter().zip(vals) {
+                let gj = g.row(offset + j);
+                let dot: f64 = gi.iter().zip(gj).map(|(a, b)| a * b).sum();
+                acc += v * dot;
+            }
+        }
+        acc
+    }
+
+    /// Linear combination `alpha * self + beta * other` with merged
+    /// sparsity patterns. Entries that combine to exactly zero are
+    /// dropped (keeps the no-stored-zeros invariant).
+    ///
+    /// # Panics
+    /// Panics if the shapes differ.
+    pub fn lin_comb(&self, alpha: f64, other: &Csr, beta: f64) -> Csr {
+        assert_eq!(self.shape(), other.shape(), "lin_comb: shape mismatch");
+        let mut out = CsrBuilder::with_capacity(self.rows, self.cols, self.nnz().max(other.nnz()));
+        for i in 0..self.rows {
+            let (ca, va) = self.row(i);
+            let (cb, vb) = other.row(i);
+            let (mut p, mut q) = (0, 0);
+            while p < ca.len() || q < cb.len() {
+                if q >= cb.len() || (p < ca.len() && ca[p] < cb[q]) {
+                    out.push(ca[p], alpha * va[p]);
+                    p += 1;
+                } else if p >= ca.len() || cb[q] < ca[p] {
+                    out.push(cb[q], beta * vb[q]);
+                    q += 1;
+                } else {
+                    out.push(ca[p], alpha * va[p] + beta * vb[q]);
+                    p += 1;
+                    q += 1;
+                }
+            }
+            out.finish_row();
+        }
+        out.build()
+    }
+
+    /// Positive/negative part split `A = A⁺ − A⁻` with `A⁺, A⁻ ≥ 0` —
+    /// what the multiplicative update of Eq. (21) needs from a Laplacian.
+    pub fn split_parts(&self) -> (Csr, Csr) {
+        let mut pos = CsrBuilder::new(self.rows, self.cols);
+        let mut neg = CsrBuilder::new(self.rows, self.cols);
+        for i in 0..self.rows {
+            let (cols, vals) = self.row(i);
+            for (&j, &v) in cols.iter().zip(vals) {
+                if v > 0.0 {
+                    pos.push(j, v);
+                } else if v < 0.0 {
+                    neg.push(j, -v);
+                }
+            }
+            pos.finish_row();
+            neg.finish_row();
+        }
+        (pos.build(), neg.build())
+    }
+
+    /// Copy with every stored value scaled; exact zeros (from `s == 0`)
+    /// are dropped.
+    pub fn scaled(&self, s: f64) -> Csr {
+        if s == 0.0 {
+            return Csr::zeros(self.rows, self.cols);
+        }
+        Csr {
+            rows: self.rows,
+            cols: self.cols,
+            indptr: self.indptr.clone(),
+            indices: self.indices.clone(),
+            values: self.values.iter().map(|&v| v * s).collect(),
+        }
     }
 
     /// Transpose (CSR → CSR of the transpose) in `O(nnz + rows + cols)`.
@@ -346,6 +499,64 @@ impl Csr {
     }
 }
 
+/// Row-ordered CSR assembly for transformation code that already visits
+/// rows in order with strictly increasing columns (cheaper than a [`Coo`]
+/// round-trip: no sort, no duplicate merge). Exact zeros are dropped on
+/// `push`, so built matrices keep the no-stored-zeros invariant — this
+/// is the one assembly path shared by `lin_comb`, `split_parts`,
+/// `mtrl-graph`'s Laplacian and pNN construction.
+pub struct CsrBuilder {
+    rows: usize,
+    cols: usize,
+    indptr: Vec<usize>,
+    indices: Vec<usize>,
+    values: Vec<f64>,
+}
+
+impl CsrBuilder {
+    /// Start an empty `rows x cols` assembly positioned at row 0.
+    pub fn new(rows: usize, cols: usize) -> Self {
+        Self::with_capacity(rows, cols, 0)
+    }
+
+    /// [`Self::new`] with entry capacity pre-reserved.
+    pub fn with_capacity(rows: usize, cols: usize, cap: usize) -> Self {
+        let mut indptr = Vec::with_capacity(rows + 1);
+        indptr.push(0);
+        CsrBuilder {
+            rows,
+            cols,
+            indptr,
+            indices: Vec::with_capacity(cap),
+            values: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Append an entry to the current row; exact zeros are skipped.
+    /// Columns must arrive in strictly increasing order per row
+    /// (enforced by `build`).
+    pub fn push(&mut self, j: usize, v: f64) {
+        if v != 0.0 {
+            self.indices.push(j);
+            self.values.push(v);
+        }
+    }
+
+    /// Close the current row.
+    pub fn finish_row(&mut self) {
+        self.indptr.push(self.indices.len());
+    }
+
+    /// Finalise, checking every CSR invariant.
+    ///
+    /// # Panics
+    /// Panics if fewer/more than `rows` rows were finished or columns
+    /// were not strictly increasing within a row.
+    pub fn build(self) -> Csr {
+        Csr::from_raw_parts(self.rows, self.cols, self.indptr, self.indices, self.values)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -502,5 +713,75 @@ mod tests {
     #[should_panic(expected = "columns not strictly increasing")]
     fn invariant_violation_panics() {
         Csr::from_raw_parts(1, 3, vec![0, 2], vec![1, 1], vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn spmm_dense_matches_serial_across_threads() {
+        // Workload chosen above the 1<<20 nnz·cols threshold so the
+        // thread sweep genuinely exercises the par_row_chunks branch.
+        let s = random_sparse(600, 500, 0.4, 57);
+        let b = rand_uniform(500, 12, -1.0, 1.0, 58);
+        assert!(
+            s.nnz() * b.cols() >= (1 << 20),
+            "workload fell below the parallel threshold ({} entries)",
+            s.nnz()
+        );
+        let dense = matmul(&s.to_dense(), &b).unwrap();
+        let before = mtrl_linalg::par::num_threads();
+        for threads in [1usize, 3, 8] {
+            mtrl_linalg::par::set_num_threads(threads);
+            let fast = s.spmm_dense(&b);
+            assert!(fast.approx_eq(&dense, 1e-10), "threads={threads}");
+        }
+        mtrl_linalg::par::set_num_threads(before);
+    }
+
+    #[test]
+    fn quad_form_matches_dense_trace() {
+        let s = random_sparse(25, 25, 0.3, 59);
+        let g = rand_uniform(25, 4, -1.0, 1.0, 60);
+        let fast = s.quad_form(&g);
+        let lg = matmul(&s.to_dense(), &g).unwrap();
+        let slow: f64 = lg
+            .as_slice()
+            .iter()
+            .zip(g.as_slice())
+            .map(|(a, b)| a * b)
+            .sum();
+        assert!((fast - slow).abs() < 1e-10, "{fast} vs {slow}");
+    }
+
+    #[test]
+    fn lin_comb_merges_patterns() {
+        let a = random_sparse(15, 15, 0.2, 61);
+        let b = random_sparse(15, 15, 0.25, 62);
+        let c = a.lin_comb(2.0, &b, -0.5);
+        let expect = a
+            .to_dense()
+            .scaled(2.0)
+            .add(&b.to_dense().scaled(-0.5))
+            .unwrap();
+        assert!(c.to_dense().approx_eq(&expect, 1e-12));
+        // Exact cancellation drops the entry.
+        let z = a.lin_comb(1.0, &a, -1.0);
+        assert_eq!(z.nnz(), 0);
+    }
+
+    #[test]
+    fn split_parts_reconstruct() {
+        let s = random_sparse(20, 20, 0.3, 63);
+        let (p, n) = s.split_parts();
+        assert!(p.values.iter().all(|&v| v > 0.0));
+        assert!(n.values.iter().all(|&v| v > 0.0));
+        let rec = p.lin_comb(1.0, &n, -1.0);
+        assert!(rec.to_dense().approx_eq(&s.to_dense(), 0.0));
+    }
+
+    #[test]
+    fn scaled_and_zero_scale() {
+        let s = random_sparse(10, 10, 0.3, 64);
+        let twice = s.scaled(2.0);
+        assert!(twice.to_dense().approx_eq(&s.to_dense().scaled(2.0), 0.0));
+        assert_eq!(s.scaled(0.0).nnz(), 0);
     }
 }

@@ -8,13 +8,18 @@
 //! analysis in Section III-F depends on `z = nnz(R)`, so the harness needs
 //! a real sparse representation to honour it.
 //!
-//! Two types:
+//! Three types:
 //! * [`Coo`] — a triplet builder (push `(i, j, v)` in any order);
 //! * [`Csr`] — compressed sparse row storage with the products the engine
-//!   needs (`spmv`, CSR×dense, transpose, row reductions).
+//!   needs (parallel CSR×dense, quadratic forms, linear combinations,
+//!   positive/negative splits, `spmv`, transpose, row reductions);
+//! * [`SparseBlockDiag`] — the block-diagonal Laplacian operator of
+//!   Section I-A, kept sparse through the whole fit loop.
 
+pub mod block;
 pub mod coo;
 pub mod csr;
 
+pub use block::SparseBlockDiag;
 pub use coo::Coo;
-pub use csr::Csr;
+pub use csr::{Csr, CsrBuilder};

@@ -5,6 +5,8 @@ use rhchme_repro::core::pipeline::{Artifacts, PipelineParams};
 use rhchme_repro::prelude::*;
 
 fn corpus(seed: u64) -> MultiTypeCorpus {
+    // `MTRL_SEED` (CI seed matrix) shifts every corpus realisation.
+    let seed = seed + mtrl_datagen::seed_from_env(0);
     mtrl_datagen::corpus::generate(&CorpusConfig {
         docs_per_class: vec![10, 10, 10],
         vocab_size: 80,

@@ -7,6 +7,8 @@ use rhchme_repro::prelude::*;
 use rhchme_repro::serve::persist;
 
 fn corpus(seed: u64) -> MultiTypeCorpus {
+    // `MTRL_SEED` (CI seed matrix) shifts every corpus realisation.
+    let seed = seed + mtrl_datagen::seed_from_env(0);
     mtrl_datagen::corpus::generate(&CorpusConfig {
         docs_per_class: vec![12, 12, 12],
         vocab_size: 90,

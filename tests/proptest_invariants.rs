@@ -84,6 +84,118 @@ proptest! {
     }
 
     #[test]
+    fn parallel_knn_bit_identical_to_serial(
+        n in 1usize..40,
+        d in 1usize..12,
+        p in 0usize..8,
+        threads in 1usize..9,
+        seed in any::<u64>()
+    ) {
+        let data = rand_uniform(n, d, -2.0, 2.0, seed);
+        let serial = mtrl_graph::knn_indices_serial(&data, p);
+        let par = mtrl_graph::knn_indices_with_threads(&data, p, threads);
+        prop_assert_eq!(par, serial);
+    }
+
+    #[test]
+    fn parallel_pnn_graph_bit_identical_to_serial(
+        n in 2usize..30,
+        d in 1usize..8,
+        p in 1usize..7,
+        threads in 1usize..9,
+        seed in any::<u64>()
+    ) {
+        let data = rand_uniform(n, d, 0.0, 1.0, seed);
+        for scheme in [
+            mtrl_graph::WeightScheme::Binary,
+            mtrl_graph::WeightScheme::HeatKernel { sigma: -1.0 },
+            mtrl_graph::WeightScheme::Cosine,
+        ] {
+            let serial = mtrl_graph::pnn_graph_with_threads(&data, p, scheme, 1);
+            let par = mtrl_graph::pnn_graph_with_threads(&data, p, scheme, threads);
+            prop_assert_eq!(par, serial);
+        }
+    }
+
+    #[test]
+    fn knn_duplicate_rows_stay_bit_identical(
+        unique in 1usize..8,
+        copies in 2usize..5,
+        d in 1usize..6,
+        threads in 1usize..9,
+        seed in any::<u64>()
+    ) {
+        // Duplicated points produce exact distance ties — the adversarial
+        // case for selection order. Every path must agree bit for bit.
+        let base = rand_uniform(unique, d, -1.0, 1.0, seed);
+        let rows: Vec<Vec<f64>> = (0..unique * copies)
+            .map(|i| base.row(i % unique).to_vec())
+            .collect();
+        let data = Mat::from_rows(&rows).unwrap();
+        let p = (unique * copies).min(4);
+        let serial = mtrl_graph::knn_indices_serial(&data, p);
+        let par = mtrl_graph::knn_indices_with_threads(&data, p, threads);
+        prop_assert_eq!(&par, &serial);
+        // Sanity: a duplicate's nearest neighbours are its own copies.
+        if copies > 1 {
+            for (i, neigh) in serial.iter().enumerate() {
+                let twin = neigh.iter().any(|&j| data.row(j) == data.row(i));
+                prop_assert!(twin, "row {i} missed its duplicates: {neigh:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn laplacian_csr_matches_dense_reference(
+        n in 2usize..25,
+        p in 1usize..5,
+        seed in any::<u64>()
+    ) {
+        use mtrl_graph::LaplacianKind;
+        let data = rand_uniform(n, 4, 0.0, 1.0, seed);
+        let w = mtrl_graph::pnn_graph(&data, p, mtrl_graph::WeightScheme::Cosine);
+        let degrees = w.row_sums();
+        for kind in [LaplacianKind::Unnormalized, LaplacianKind::SymNormalized] {
+            // Independent dense construction (the seed repository's).
+            let mut reference = Mat::zeros(n, n);
+            match kind {
+                LaplacianKind::Unnormalized => {
+                    for (i, j, v) in w.iter() {
+                        reference[(i, j)] -= v;
+                    }
+                    for i in 0..n {
+                        reference[(i, i)] += degrees[i];
+                    }
+                }
+                LaplacianKind::SymNormalized => {
+                    let inv: Vec<f64> = degrees
+                        .iter()
+                        .map(|&x| if x > 1e-300 { 1.0 / x.sqrt() } else { 0.0 })
+                        .collect();
+                    for (i, j, v) in w.iter() {
+                        reference[(i, j)] -= v * inv[i] * inv[j];
+                    }
+                    for i in 0..n {
+                        if degrees[i] > 1e-300 {
+                            reference[(i, i)] += 1.0;
+                        }
+                    }
+                }
+            }
+            let sparse = mtrl_graph::laplacian_csr(&w, kind);
+            prop_assert_eq!(
+                sparse.to_dense().as_slice(),
+                reference.as_slice(),
+                "{:?}",
+                kind
+            );
+            // And the dense shim is exactly the densified sparse form.
+            let dense = mtrl_graph::laplacian_dense(&w, kind);
+            prop_assert_eq!(dense.as_slice(), reference.as_slice());
+        }
+    }
+
+    #[test]
     fn metrics_bounded_on_random_labelings(
         n in 2usize..40,
         k1 in 1usize..6,

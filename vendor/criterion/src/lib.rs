@@ -7,9 +7,28 @@
 //! text report instead of upstream's statistical machinery. Good enough
 //! to compare orders of magnitude and track regressions by eye; swap in
 //! real criterion when the registry is reachable.
+//!
+//! Two environment knobs drive the CI `bench-smoke` job:
+//!
+//! * `MTRL_BENCH_QUICK=1` — shrink warm-up and sample counts so a full
+//!   bench binary finishes in seconds (noisier, but enough to catch
+//!   order-of-magnitude regressions);
+//! * `MTRL_BENCH_JSON=<path>` — after `criterion_main!` finishes, write
+//!   a flat `{"results": {"<bench name>": <mean ns per op>}}` summary
+//!   that `bench-gate` diffs against the committed baseline.
 
 use std::fmt::Display;
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
+
+/// `(name, mean ns)` of every benchmark run by this process, in run
+/// order — the source of the JSON summary.
+static RESULTS: Mutex<Vec<(String, f64)>> = Mutex::new(Vec::new());
+
+/// `true` when `MTRL_BENCH_QUICK` requests the fast, noisier loop.
+fn quick_mode() -> bool {
+    std::env::var("MTRL_BENCH_QUICK").is_ok_and(|v| v != "0" && !v.is_empty())
+}
 
 /// Top-level benchmark driver.
 pub struct Criterion {
@@ -18,7 +37,9 @@ pub struct Criterion {
 
 impl Default for Criterion {
     fn default() -> Self {
-        Criterion { sample_size: 100 }
+        Criterion {
+            sample_size: if quick_mode() { 10 } else { 100 },
+        }
     }
 }
 
@@ -107,16 +128,18 @@ pub struct Bencher {
 impl Bencher {
     /// Time `f`, collecting `sample_size` samples after a warm-up.
     pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
-        // Warm-up and per-iteration estimate: run until ~20ms elapses.
+        // Warm-up and per-iteration estimate: run until ~20ms elapses
+        // (~5ms in quick mode).
+        let (warm_ms, sample_target) = if quick_mode() { (5, 5e-4) } else { (20, 2e-3) };
         let warm_start = Instant::now();
         let mut warm_iters: u64 = 0;
-        while warm_start.elapsed() < Duration::from_millis(20) {
+        while warm_start.elapsed() < Duration::from_millis(warm_ms) {
             std::hint::black_box(f());
             warm_iters += 1;
         }
         let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters as f64;
-        // Aim for ~2ms per sample, at least one iteration.
-        let iters_per_sample = ((2e-3 / per_iter).ceil() as u64).max(1);
+        // Aim for ~2ms per sample (0.5ms quick), at least one iteration.
+        let iters_per_sample = ((sample_target / per_iter).ceil() as u64).max(1);
         self.samples.clear();
         for _ in 0..self.sample_size {
             let t = Instant::now();
@@ -148,6 +171,12 @@ fn run_one<F: FnMut(&mut Bencher)>(name: &str, sample_size: usize, f: &mut F) {
     let median = ns[ns.len() / 2];
     let lo = ns[(ns.len() as f64 * 0.05) as usize];
     let hi = ns[((ns.len() as f64 * 0.95) as usize).min(ns.len() - 1)];
+    // The registry records a 10%-trimmed mean: one scheduler spike in a
+    // 10-sample quick run would otherwise double the plain mean and trip
+    // the CI regression gate on noise rather than code.
+    let trim = ns.len() / 10;
+    let kept = &ns[trim..ns.len() - trim];
+    let mean = kept.iter().sum::<f64>() / kept.len() as f64;
     println!(
         "  {name}: median {} (p5 {}, p95 {}, {} samples)",
         fmt_ns(median),
@@ -155,6 +184,45 @@ fn run_one<F: FnMut(&mut Bencher)>(name: &str, sample_size: usize, f: &mut F) {
         fmt_ns(hi),
         ns.len()
     );
+    RESULTS
+        .lock()
+        .expect("results registry poisoned")
+        .push((name.to_string(), mean));
+}
+
+/// Write the `{"results": {name: mean_ns}}` summary to the path named by
+/// `MTRL_BENCH_JSON`, if set. Invoked by `criterion_main!` after every
+/// group has run; a no-op without the env var.
+pub fn write_json_summary() {
+    let Ok(path) = std::env::var("MTRL_BENCH_JSON") else {
+        return;
+    };
+    let results = RESULTS.lock().expect("results registry poisoned");
+    let mut body = String::from("{\n  \"schema\": \"mtrl-bench-summary/v1\",\n  \"results\": {");
+    for (idx, (name, mean)) in results.iter().enumerate() {
+        if idx > 0 {
+            body.push(',');
+        }
+        body.push_str("\n    \"");
+        for ch in name.chars() {
+            match ch {
+                '"' => body.push_str("\\\""),
+                '\\' => body.push_str("\\\\"),
+                c if (c as u32) < 0x20 => body.push_str(&format!("\\u{:04x}", c as u32)),
+                c => body.push(c),
+            }
+        }
+        body.push_str(&format!("\": {mean:.1}"));
+    }
+    body.push_str("\n  }\n}\n");
+    let p = std::path::Path::new(&path);
+    if let Some(dir) = p.parent() {
+        let _ = std::fs::create_dir_all(dir);
+    }
+    match std::fs::write(p, body) {
+        Ok(()) => println!("\n[bench summary written to {}]", p.display()),
+        Err(e) => eprintln!("failed to write bench summary {}: {e}", p.display()),
+    }
 }
 
 fn fmt_ns(ns: f64) -> String {
@@ -180,12 +248,14 @@ macro_rules! criterion_group {
     };
 }
 
-/// Entry point running every group, like upstream.
+/// Entry point running every group, like upstream; afterwards emits the
+/// JSON summary when `MTRL_BENCH_JSON` is set.
 #[macro_export]
 macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
             $($group();)+
+            $crate::write_json_summary();
         }
     };
 }
@@ -220,5 +290,15 @@ mod tests {
         assert!(fmt_ns(5e4).contains("µs"));
         assert!(fmt_ns(5e7).contains("ms"));
         assert!(fmt_ns(5e9).contains('s'));
+    }
+
+    #[test]
+    fn registry_records_run_means() {
+        let mut c = Criterion { sample_size: 3 };
+        c.bench_function("registry_probe", |b| b.iter(|| std::hint::black_box(2 + 2)));
+        let results = RESULTS.lock().unwrap();
+        assert!(results
+            .iter()
+            .any(|(n, m)| n == "registry_probe" && m.is_finite() && *m >= 0.0));
     }
 }
