@@ -51,7 +51,7 @@ pub use error::RhchmeError;
 pub use export::{FittedModel, SCHEMA_VERSION};
 pub use multitype::MultiTypeData;
 pub use pipeline::{run_method, Method, MethodOutput};
-pub use rhchme::{Rhchme, RhchmeConfig, RhchmeResult};
+pub use rhchme::{Rhchme, RhchmeConfig, RhchmeResult, WarmStart};
 
 /// Result alias for this crate.
 pub type Result<T> = std::result::Result<T, RhchmeError>;

@@ -121,6 +121,22 @@ pub struct RhchmeResult {
     pub converged: bool,
 }
 
+/// Warm-start specification for [`Rhchme::fit_warm`].
+#[derive(Debug, Clone)]
+pub struct WarmStart {
+    /// Initial stacked membership `G₀` (block-structured, nonnegative):
+    /// rows copied from a previous solution for surviving objects,
+    /// fold-in posteriors for new ones.
+    pub g0: Mat,
+    /// Prebuilt heterogeneous Laplacian to reuse (e.g. maintained
+    /// incrementally by `mtrl-stream`); `None` recomputes stages 1–2
+    /// from the configuration exactly as [`Rhchme::fit_data`] does.
+    pub laplacian: Option<mtrl_sparse::SparseBlockDiag>,
+    /// Iteration cap for the refresh (clamped to the configuration's
+    /// `max_iter` and at least 1).
+    pub max_iter: usize,
+}
+
 /// The RHCHME estimator.
 #[derive(Debug, Clone)]
 pub struct Rhchme {
@@ -154,29 +170,70 @@ impl Rhchme {
     pub fn fit_data(&self, data: &MultiTypeData) -> Result<RhchmeResult> {
         let cfg = &self.config;
         let features = data.all_features();
+        let l = self.full_laplacian(&features)?;
+        let g0 = init_membership(data, &features, cfg.seed);
+        self.run_with(data, l, g0, cfg.max_iter)
+    }
 
-        // Stage 1: complete intra-type relationships (subspace learning).
+    /// Warm-started mini-batch refresh: re-optimise on updated data from
+    /// a previous solution instead of a cold k-means initialisation.
+    ///
+    /// The multiplicative update of Algorithm 2 is a fixed-point
+    /// iteration, so a `G₀` seeded from a previous factorisation (rows
+    /// copied for surviving objects, fold-in posteriors for new ones —
+    /// see `mtrl_stream::warm_membership`) starts close to the optimum
+    /// and `warm.max_iter` can be a fraction of a cold run's budget —
+    /// the warm-start property matrix-factorisation multi-aspect
+    /// clustering inherits (Luong & Nayak). `warm.laplacian` lets the
+    /// caller reuse incrementally maintained graph artifacts (e.g. a
+    /// `DynamicGraph` Laplacian) instead of recomputing stages 1–2; when
+    /// `None`, both stages run exactly as in [`Self::fit_data`].
+    ///
+    /// # Errors
+    /// Returns [`crate::RhchmeError::InvalidData`] when `warm.g0` does
+    /// not match `data`'s layout (or is negative), and propagates
+    /// optimisation errors.
+    pub fn fit_warm(&self, data: &MultiTypeData, warm: WarmStart) -> Result<RhchmeResult> {
+        let l = match warm.laplacian {
+            Some(l) => l,
+            None => self.full_laplacian(&data.all_features())?,
+        };
+        let max_iter = warm.max_iter.min(self.config.max_iter).max(1);
+        self.run_with(data, l, warm.g0, max_iter)
+    }
+
+    /// Stages 1 & 2 of the paper: subspace Laplacians, pNN Laplacians,
+    /// and their heterogeneous ensemble (Eq. 12), per this config.
+    fn full_laplacian(&self, features: &[Mat]) -> Result<mtrl_sparse::SparseBlockDiag> {
+        let cfg = &self.config;
         let spg_cfg = SpgConfig {
             gamma: cfg.gamma,
             max_iter: cfg.spg_max_iter,
             seed: cfg.seed,
             ..SpgConfig::default()
         };
-        let l_s = subspace_laplacians(&features, &spg_cfg, cfg.laplacian_kind)?;
+        let l_s = subspace_laplacians(features, &spg_cfg, cfg.laplacian_kind)?;
+        let l_e = pnn_laplacians(features, cfg.p, cfg.weight_scheme, cfg.laplacian_kind)?;
+        hetero_laplacian(&l_s, &l_e, cfg.alpha)
+    }
 
-        // Stage 2: accurate intra-type relationships (hetero ensemble).
-        let l_e = pnn_laplacians(&features, cfg.p, cfg.weight_scheme, cfg.laplacian_kind)?;
-        let l = hetero_laplacian(&l_s, &l_e, cfg.alpha)?;
-
-        // Initialisation + robust NMTF.
-        let g0 = init_membership(data, &features, cfg.seed);
+    /// Shared optimisation tail: assemble `R`, run Algorithm 2 with the
+    /// given regulariser, initial membership and iteration budget.
+    fn run_with(
+        &self,
+        data: &MultiTypeData,
+        l: mtrl_sparse::SparseBlockDiag,
+        g0: Mat,
+        max_iter: usize,
+    ) -> Result<RhchmeResult> {
+        let cfg = &self.config;
         let r = data.assemble_r();
         let engine_cfg = EngineConfig {
             lambda: cfg.lambda,
             beta: cfg.beta,
             use_error_matrix: true,
             l1_row_normalize: true,
-            max_iter: cfg.max_iter,
+            max_iter,
             tol: cfg.tol,
             record_labels_for_type: cfg.record_doc_labels.then_some(0),
             ..EngineConfig::default()
@@ -298,6 +355,80 @@ mod tests {
         });
         let res = model.fit_corpus(&corpus).unwrap();
         assert_eq!(res.label_trace.len(), res.iterations);
+    }
+
+    #[test]
+    fn warm_fit_from_previous_solution_converges_fast() {
+        let corpus = tiny_corpus(0.0, 34);
+        let model = Rhchme::new(RhchmeConfig {
+            lambda: 1.0,
+            ..RhchmeConfig::fast()
+        });
+        let cold = model.fit_corpus(&corpus).unwrap();
+        let data = crate::multitype::MultiTypeData::from_corpus(&corpus, 20).unwrap();
+        // Seeding from the cold solution, a handful of iterations keeps
+        // the solution: same labels, objective no worse than the cold end
+        // (within the engine's surrogate-descent slack).
+        let warm = model
+            .fit_warm(
+                &data,
+                WarmStart {
+                    g0: cold.g.clone(),
+                    laplacian: None,
+                    max_iter: 5,
+                },
+            )
+            .unwrap();
+        assert!(warm.iterations <= 5);
+        assert_eq!(warm.doc_labels, cold.doc_labels);
+        let cold_final = *cold.objective_trace.last().unwrap();
+        let warm_final = *warm.objective_trace.last().unwrap();
+        assert!(
+            warm_final <= cold_final * 1.01 + 1e-9,
+            "warm {warm_final} vs cold {cold_final}"
+        );
+    }
+
+    #[test]
+    fn warm_fit_accepts_prebuilt_laplacian() {
+        let corpus = tiny_corpus(0.0, 35);
+        let model = Rhchme::new(RhchmeConfig {
+            lambda: 1.0,
+            ..RhchmeConfig::fast()
+        });
+        let data = crate::multitype::MultiTypeData::from_corpus(&corpus, 20).unwrap();
+        let features = data.all_features();
+        let l = crate::intra::pnn_laplacians(
+            &features,
+            5,
+            mtrl_graph::WeightScheme::Cosine,
+            mtrl_graph::LaplacianKind::SymNormalized,
+        )
+        .unwrap();
+        let g0 = init_membership(&data, &features, 35);
+        let res = model
+            .fit_warm(
+                &data,
+                WarmStart {
+                    g0,
+                    laplacian: Some(l),
+                    max_iter: 10,
+                },
+            )
+            .unwrap();
+        assert!(res.iterations <= 10);
+        assert_eq!(res.doc_labels.len(), 24);
+        // Bad G0 shape is rejected.
+        assert!(model
+            .fit_warm(
+                &data,
+                WarmStart {
+                    g0: Mat::zeros(3, 3),
+                    laplacian: None,
+                    max_iter: 5
+                }
+            )
+            .is_err());
     }
 
     #[test]

@@ -122,6 +122,244 @@ impl MultiTypeCorpus {
     }
 }
 
+/// The fitted generative machinery behind [`generate`]: vocabulary
+/// layout, confusion pairings, the (noisy, per-term-fixed) term→concept
+/// mapping and the concept relatedness weights.
+///
+/// Extracted so the streaming generator ([`crate::stream`]) can keep
+/// emitting batches from the *same* latent model that produced the
+/// initial corpus — same anchors, same concept mapping, same class
+/// structure — optionally with a concept-drift shift of the anchor
+/// windows. Construction consumes the RNG in exactly the order the
+/// monolithic generator did, so every seeded corpus in the workspace is
+/// bit-identical to before the extraction.
+pub(crate) struct TopicSampler {
+    cfg: CorpusConfig,
+    k: usize,
+    v: usize,
+    background: usize,
+    anchors: usize,
+    per_class: usize,
+    subtopics: usize,
+    eff_concept: Vec<usize>,
+    relatedness: Vec<f64>,
+}
+
+/// Probability that a non-confused token stays on the document's own
+/// sub-topic (the remainder spreads over the class's other sub-topics,
+/// keeping the class connected as one manifold).
+const OWN_SUBTOPIC: f64 = 0.75;
+
+impl TopicSampler {
+    /// Validate the configuration and draw the latent model parameters
+    /// (relatedness, effective concept mapping) from `rng`.
+    ///
+    /// # Panics
+    /// Panics on degenerate configurations — see [`generate`].
+    pub(crate) fn new(cfg: &CorpusConfig, rng: &mut StdRng) -> Self {
+        let k = cfg.docs_per_class.len();
+        assert!(k >= 2, "need at least 2 classes");
+        assert!(
+            cfg.vocab_size >= 4 * k,
+            "vocabulary too small for {k} classes"
+        );
+        assert!(
+            cfg.concept_count >= k,
+            "need at least one concept per class"
+        );
+        assert!(
+            (0.0..=1.0).contains(&cfg.topic_noise)
+                && (0.0..=1.0).contains(&cfg.concept_map_noise)
+                && (0.0..=1.0).contains(&cfg.corrupt_frac)
+                && (0.0..1.0).contains(&cfg.background_frac),
+            "probabilities out of range"
+        );
+        assert!(
+            cfg.doc_len_range.0 > 0 && cfg.doc_len_range.0 <= cfg.doc_len_range.1,
+            "bad doc length range"
+        );
+        let v = cfg.vocab_size;
+        // Vocabulary layout: the first `background` terms are shared; the
+        // rest is split into k anchor blocks.
+        let background = ((v as f64) * cfg.background_frac).round() as usize;
+        let anchors = v - background;
+        let per_class = anchors / k;
+        let subtopics = cfg.subtopics_per_class.max(1);
+        assert!(
+            per_class >= 2 * subtopics,
+            "fewer than 2 anchor terms per sub-topic ({per_class} anchors / class, {subtopics} sub-topics)"
+        );
+        // True term -> concept mapping: concepts tile the vocabulary in
+        // order, so anchor blocks map to class-correlated concept groups.
+        let true_concept: Vec<usize> = (0..v).map(|t| (t * cfg.concept_count) / v).collect();
+        // Concept "semantic relatedness" weights (refs [13, 32]) in [0.5, 1].
+        let relatedness: Vec<f64> = (0..cfg.concept_count)
+            .map(|_| rng.gen_range(0.5..1.0))
+            .collect();
+        // Noisy effective mapping, fixed per term (a term always maps to
+        // the same concept, as a real knowledge base would).
+        let eff_concept: Vec<usize> = (0..v)
+            .map(|t| {
+                if rng.gen_range(0.0..1.0) < cfg.concept_map_noise {
+                    rng.gen_range(0..cfg.concept_count)
+                } else {
+                    true_concept[t]
+                }
+            })
+            .collect();
+        TopicSampler {
+            cfg: cfg.clone(),
+            k,
+            v,
+            background,
+            anchors,
+            per_class,
+            subtopics,
+            eff_concept,
+            relatedness,
+        }
+    }
+
+    pub(crate) fn num_classes(&self) -> usize {
+        self.k
+    }
+
+    pub(crate) fn relatedness(&self) -> &[f64] {
+        &self.relatedness
+    }
+
+    /// Anchor-window rotation (in terms) for a drift fraction of one
+    /// class block — derived here so the streaming generator cannot
+    /// desynchronise from the sampler's actual vocabulary layout.
+    pub(crate) fn drift_shift_terms(&self, fraction: f64) -> usize {
+        ((self.per_class as f64) * fraction).round() as usize
+    }
+
+    fn anchor_range(&self, class: usize) -> (usize, usize) {
+        let start = self.background + class * self.per_class;
+        let end = if class == self.k - 1 {
+            self.v
+        } else {
+            start + self.per_class
+        };
+        (start, end)
+    }
+
+    /// Sub-topic sub-block inside a class's anchor range.
+    fn subtopic_range(&self, class: usize, sub: usize) -> (usize, usize) {
+        let (a_start, a_end) = self.anchor_range(class);
+        let width = (a_end - a_start) / self.subtopics;
+        let s_start = a_start + sub * width;
+        let s_end = if sub == self.subtopics - 1 {
+            a_end
+        } else {
+            s_start + width
+        };
+        (s_start, s_end)
+    }
+
+    /// Complementary confusion pairings: the term view confuses classes
+    /// (0,1), (2,3), …; the concept view confuses the shifted pairs
+    /// (1,2), (3,4), …, (k-1, 0). Any single view mixes half the pairs;
+    /// the union of views separates everything.
+    fn term_partner(&self, c: usize) -> usize {
+        if c.is_multiple_of(2) {
+            (c + 1).min(self.k - 1)
+        } else {
+            c - 1
+        }
+    }
+
+    fn concept_partner(&self, c: usize) -> usize {
+        if c == 0 {
+            self.k - 1
+        } else if c % 2 == 1 {
+            (c + 1) % self.k
+        } else {
+            c - 1
+        }
+    }
+
+    /// Draw one token. `shift` rotates anchored tokens cyclically within
+    /// the anchor region of the vocabulary — the concept-drift knob: at
+    /// `shift = per_class / 2` every class mean moves halfway towards
+    /// its neighbour's old position, so a model fitted pre-drift
+    /// confuses adjacent classes until it refreshes. `shift = 0` is the
+    /// stationary distribution. RNG draw order is identical for every
+    /// shift (the rotation is applied after sampling).
+    #[allow(clippy::too_many_arguments)] // mirrors the sampling state of the original closure
+    fn sample_token(
+        &self,
+        rng: &mut StdRng,
+        class: usize,
+        own_sub: usize,
+        partner: usize,
+        corrupted: bool,
+        shift: usize,
+    ) -> usize {
+        if corrupted {
+            return rng.gen_range(0..self.v);
+        }
+        if rng.gen_range(0.0..1.0) < self.cfg.topic_noise {
+            return rng.gen_range(0..self.background.max(1));
+        }
+        let (cls, sub) = if rng.gen_range(0.0..1.0) < self.cfg.view_confusion {
+            (partner, rng.gen_range(0..self.subtopics))
+        } else if rng.gen_range(0.0..1.0) < OWN_SUBTOPIC {
+            (class, own_sub)
+        } else {
+            (class, rng.gen_range(0..self.subtopics))
+        };
+        let (s, e) = self.subtopic_range(cls, sub);
+        let t = rng.gen_range(s..e);
+        if shift == 0 {
+            t
+        } else {
+            self.background + (t - self.background + shift) % self.anchors
+        }
+    }
+
+    /// Sample one document's two token streams: term counts and (mapped)
+    /// concept counts. The *term stream* fills the document-term view
+    /// (term-view confusion pairing); the *concept stream* is routed
+    /// through the term→concept mapping to fill the document-concept
+    /// view (concept-view pairing). Both streams share the document's
+    /// class and sub-topic, so the term-concept co-occurrence matrix
+    /// ties the two views together — the signal HOCC methods exploit and
+    /// two-way methods cannot.
+    pub(crate) fn sample_doc(
+        &self,
+        rng: &mut StdRng,
+        class: usize,
+        corrupted: bool,
+        shift: usize,
+    ) -> (
+        std::collections::HashMap<usize, usize>,
+        std::collections::HashMap<usize, usize>,
+    ) {
+        let len = rng.gen_range(self.cfg.doc_len_range.0..=self.cfg.doc_len_range.1);
+        let own_sub = rng.gen_range(0..self.subtopics);
+        let t_partner = self.term_partner(class);
+        let c_partner = self.concept_partner(class);
+        let mut term_counts = std::collections::HashMap::new();
+        let mut concept_counts = std::collections::HashMap::new();
+        for _ in 0..len {
+            let t = self.sample_token(rng, class, own_sub, t_partner, corrupted, shift);
+            *term_counts.entry(t).or_insert(0) += 1;
+            let ct = self.sample_token(rng, class, own_sub, c_partner, corrupted, shift);
+            *concept_counts.entry(self.eff_concept[ct]).or_insert(0) += 1;
+        }
+        (term_counts, concept_counts)
+    }
+}
+
+/// Inverse document frequency from per-term document counts.
+pub(crate) fn idf_from_df(df: &[usize], n_docs: usize) -> Vec<f64> {
+    df.iter()
+        .map(|&f| ((1.0 + n_docs as f64) / (1.0 + f as f64)).ln() + 1.0)
+        .collect()
+}
+
 /// Generate a corpus from a configuration.
 ///
 /// # Panics
@@ -129,98 +367,22 @@ impl MultiTypeCorpus {
 /// out-of-range probabilities) — configurations are programmer-supplied
 /// constants, so panicking is the right failure mode.
 pub fn generate(cfg: &CorpusConfig) -> MultiTypeCorpus {
-    let k = cfg.docs_per_class.len();
-    assert!(k >= 2, "need at least 2 classes");
-    assert!(
-        cfg.vocab_size >= 4 * k,
-        "vocabulary too small for {k} classes"
-    );
-    assert!(
-        cfg.concept_count >= k,
-        "need at least one concept per class"
-    );
-    assert!(
-        (0.0..=1.0).contains(&cfg.topic_noise)
-            && (0.0..=1.0).contains(&cfg.concept_map_noise)
-            && (0.0..=1.0).contains(&cfg.corrupt_frac)
-            && (0.0..1.0).contains(&cfg.background_frac),
-        "probabilities out of range"
-    );
-    assert!(
-        cfg.doc_len_range.0 > 0 && cfg.doc_len_range.0 <= cfg.doc_len_range.1,
-        "bad doc length range"
-    );
-
     let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let sampler = TopicSampler::new(cfg, &mut rng);
+    generate_with_sampler(cfg, &sampler, &mut rng)
+}
+
+/// The document-sampling and matrix-assembly half of [`generate`],
+/// shared with the streaming generator (which reuses `sampler` and `rng`
+/// to keep emitting batches from the same latent model).
+pub(crate) fn generate_with_sampler(
+    cfg: &CorpusConfig,
+    sampler: &TopicSampler,
+    rng: &mut StdRng,
+) -> MultiTypeCorpus {
+    let k = cfg.docs_per_class.len();
     let n_docs: usize = cfg.docs_per_class.iter().sum();
     let v = cfg.vocab_size;
-
-    // Vocabulary layout: the first `background` terms are shared; the rest
-    // is split into k anchor blocks.
-    let background = ((v as f64) * cfg.background_frac).round() as usize;
-    let anchors = v - background;
-    let per_class = anchors / k;
-    let subtopics = cfg.subtopics_per_class.max(1);
-    assert!(
-        per_class >= 2 * subtopics,
-        "fewer than 2 anchor terms per sub-topic ({per_class} anchors / class, {subtopics} sub-topics)"
-    );
-    let anchor_range = |class: usize| {
-        let start = background + class * per_class;
-        let end = if class == k - 1 { v } else { start + per_class };
-        (start, end)
-    };
-    // Sub-topic sub-block inside a class's anchor range.
-    let subtopic_range = |class: usize, sub: usize| {
-        let (a_start, a_end) = anchor_range(class);
-        let width = (a_end - a_start) / subtopics;
-        let s_start = a_start + sub * width;
-        let s_end = if sub == subtopics - 1 {
-            a_end
-        } else {
-            s_start + width
-        };
-        (s_start, s_end)
-    };
-    // Complementary confusion pairings: the term view confuses classes
-    // (0,1), (2,3), …; the concept view confuses the shifted pairs
-    // (1,2), (3,4), …, (k-1, 0). Any single view mixes half the pairs;
-    // the union of views separates everything.
-    let term_partner = |c: usize| {
-        if c.is_multiple_of(2) {
-            (c + 1).min(k - 1)
-        } else {
-            c - 1
-        }
-    };
-    let concept_partner = |c: usize| {
-        if c == 0 {
-            k - 1
-        } else if c % 2 == 1 {
-            (c + 1) % k
-        } else {
-            c - 1
-        }
-    };
-
-    // True term -> concept mapping: concepts tile the vocabulary in order,
-    // so anchor blocks map to class-correlated concept groups.
-    let true_concept: Vec<usize> = (0..v).map(|t| (t * cfg.concept_count) / v).collect();
-    // Concept "semantic relatedness" weights (refs [13, 32]) in [0.5, 1].
-    let relatedness: Vec<f64> = (0..cfg.concept_count)
-        .map(|_| rng.gen_range(0.5..1.0))
-        .collect();
-    // Noisy effective mapping, fixed per term (a term always maps to the
-    // same concept, as a real knowledge base would).
-    let eff_concept: Vec<usize> = (0..v)
-        .map(|t| {
-            if rng.gen_range(0.0..1.0) < cfg.concept_map_noise {
-                rng.gen_range(0..cfg.concept_count)
-            } else {
-                true_concept[t]
-            }
-        })
-        .collect();
 
     // Labels & corruption choices.
     let mut labels = Vec::with_capacity(n_docs);
@@ -238,50 +400,13 @@ pub fn generate(cfg: &CorpusConfig) -> MultiTypeCorpus {
         })
         .collect();
 
-    // Token sampling: two streams per document. The *term stream* fills
-    // the document-term view (term-view confusion pairing); the *concept
-    // stream* is routed through the term→concept mapping to fill the
-    // document-concept view (concept-view pairing). Both streams share
-    // the document's class and sub-topic, so the term-concept
-    // co-occurrence matrix ties the two views together — the signal HOCC
-    // methods exploit and two-way methods cannot.
-    let mut term_counts: Vec<std::collections::HashMap<usize, usize>> =
-        vec![std::collections::HashMap::new(); n_docs];
+    let mut term_counts: Vec<std::collections::HashMap<usize, usize>> = Vec::with_capacity(n_docs);
     let mut concept_counts: Vec<std::collections::HashMap<usize, usize>> =
-        vec![std::collections::HashMap::new(); n_docs];
-    // Probability that a non-confused token stays on the document's own
-    // sub-topic (the remainder spreads over the class's other sub-topics,
-    // keeping the class connected as one manifold).
-    const OWN_SUBTOPIC: f64 = 0.75;
+        Vec::with_capacity(n_docs);
     for d in 0..n_docs {
-        let len = rng.gen_range(cfg.doc_len_range.0..=cfg.doc_len_range.1);
-        let class = labels[d];
-        let own_sub = rng.gen_range(0..subtopics);
-        let sample_token = |rng: &mut StdRng, partner: usize| -> usize {
-            if corrupted[d] {
-                return rng.gen_range(0..v);
-            }
-            if rng.gen_range(0.0..1.0) < cfg.topic_noise {
-                return rng.gen_range(0..background.max(1));
-            }
-            let (cls, sub) = if rng.gen_range(0.0..1.0) < cfg.view_confusion {
-                (partner, rng.gen_range(0..subtopics))
-            } else if rng.gen_range(0.0..1.0) < OWN_SUBTOPIC {
-                (class, own_sub)
-            } else {
-                (class, rng.gen_range(0..subtopics))
-            };
-            let (s, e) = subtopic_range(cls, sub);
-            rng.gen_range(s..e)
-        };
-        let t_partner = term_partner(class);
-        let c_partner = concept_partner(class);
-        for _ in 0..len {
-            let t = sample_token(&mut rng, t_partner);
-            *term_counts[d].entry(t).or_insert(0) += 1;
-            let ct = sample_token(&mut rng, c_partner);
-            *concept_counts[d].entry(eff_concept[ct]).or_insert(0) += 1;
-        }
+        let (tc, cc) = sampler.sample_doc(rng, labels[d], corrupted[d], 0);
+        term_counts.push(tc);
+        concept_counts.push(cc);
     }
 
     // Document frequencies for idf (term view).
@@ -291,10 +416,8 @@ pub fn generate(cfg: &CorpusConfig) -> MultiTypeCorpus {
             df[t] += 1;
         }
     }
-    let idf: Vec<f64> = df
-        .iter()
-        .map(|&f| ((1.0 + n_docs as f64) / (1.0 + f as f64)).ln() + 1.0)
-        .collect();
+    let idf = idf_from_df(&df, n_docs);
+    let relatedness = sampler.relatedness();
 
     // Assemble the three relation matrices.
     let mut dt = Coo::new(n_docs, v);

@@ -19,7 +19,10 @@
 //!   unions of linear subspaces);
 //! * [`noise`] — corruption injectors used by the robustness experiments;
 //! * [`split`] — train / held-out document splitting for out-of-sample
-//!   serving experiments.
+//!   serving experiments;
+//! * [`stream`] — timestamped document batches from the same latent
+//!   model as the initial corpus, with optional concept drift
+//!   (anchor-window rotation), for the `mtrl-stream` subsystem.
 //!
 //! Everything is seeded and deterministic. The `MTRL_SEED` environment
 //! variable (see [`seed_from_env`]) shifts every seeded experiment so CI
@@ -30,11 +33,13 @@ pub mod datasets;
 pub mod manifold;
 pub mod noise;
 pub mod split;
+pub mod stream;
 
 pub use corpus::{CorpusConfig, MultiTypeCorpus};
 pub use datasets::{DatasetId, Scale};
 pub use manifold::{two_circles, union_of_subspaces};
 pub use split::{split_corpus, HeldOutDoc};
+pub use stream::{append_batch, generate_stream, StreamBatch, StreamConfig};
 
 /// Base seed from the `MTRL_SEED` environment variable, or `default`
 /// when unset/unparseable. Integration tests add this to their fixed

@@ -142,7 +142,6 @@ fn knn_rows(
     r1: usize,
 ) -> Vec<Vec<usize>> {
     let n = data.rows();
-    let d = data.cols();
     let mut out = Vec::with_capacity(r1 - r0);
     let mut tile_buf = vec![0.0; TILE.min(r1 - r0).max(1) * n];
     let mut scratch: Vec<(f64, usize)> = Vec::with_capacity(p + 1);
@@ -150,74 +149,7 @@ fn knn_rows(
     while t0 < r1 {
         let t1 = (t0 + TILE).min(r1);
         let rows = t1 - t0;
-        // tile_buf[local] = −2 · X[t0 + local] · Xᵀ. Every output row is
-        // accumulated over k in ascending order with no skip, so the
-        // value of dist(i, j) is independent of tiles, register blocking
-        // and threads — the bit-identity guarantee of the module docs.
-        tile_buf[..rows * n].fill(0.0);
-        let mut brows: Vec<&mut [f64]> = tile_buf[..rows * n].chunks_mut(n).collect();
-        for (g, group) in brows.chunks_mut(4).enumerate() {
-            let i0 = t0 + g * 4;
-            if let [b0, b1, b2, b3] = group {
-                // Register-blocked micro-kernel: four output rows share
-                // each streamed strip of Xᵀ (quartering Xᵀ traffic) and
-                // the k dimension is unrolled by four so each output
-                // load/store amortises over four FMAs. `mul_add` maps to
-                // one hardware FMA per element (the repo builds with
-                // `target-cpu=native`, see .cargo/config.toml); on
-                // FMA-less targets it falls back to a slow libm call but
-                // stays exact. A nested `mul_add` chain performs the
-                // exact same rounding sequence as the sequential k loop
-                // of the remainder kernel below, keeping every path
-                // bit-identical.
-                let xr = [
-                    data.row(i0),
-                    data.row(i0 + 1),
-                    data.row(i0 + 2),
-                    data.row(i0 + 3),
-                ];
-                let mut jt = 0;
-                while jt < n {
-                    let je = (jt + JT).min(n);
-                    let mut k = 0;
-                    while k + 4 <= d {
-                        let xk = [
-                            &xt.row(k)[jt..je],
-                            &xt.row(k + 1)[jt..je],
-                            &xt.row(k + 2)[jt..je],
-                            &xt.row(k + 3)[jt..je],
-                        ];
-                        for (b, x) in [&mut **b0, b1, b2, b3].into_iter().zip(xr) {
-                            let a = [
-                                -2.0 * x[k],
-                                -2.0 * x[k + 1],
-                                -2.0 * x[k + 2],
-                                -2.0 * x[k + 3],
-                            ];
-                            axpy4_fma(&mut b[jt..je], a, xk);
-                        }
-                        k += 4;
-                    }
-                    while k < d {
-                        let xk = &xt.row(k)[jt..je];
-                        for (b, x) in [&mut **b0, b1, b2, b3].into_iter().zip(xr) {
-                            axpy1_fma(&mut b[jt..je], -2.0 * x[k], xk);
-                        }
-                        k += 1;
-                    }
-                    jt = je;
-                }
-            } else {
-                // Remainder rows one at a time; per-(i, j) arithmetic is
-                // the same k-ascending accumulation as the quad kernel.
-                for (local, brow) in group.iter_mut().enumerate() {
-                    let xrow = data.row(i0 + local);
-                    for (k, &xv) in xrow.iter().enumerate() {
-                        axpy1_fma(brow, -2.0 * xv, xt.row(k));
-                    }
-                }
-            }
-        }
+        gram_tile_neg2(data, xt, t0, t1, &mut tile_buf);
         for local in 0..rows {
             let i = t0 + local;
             let brow = &tile_buf[local * n..(local + 1) * n];
@@ -226,6 +158,175 @@ fn knn_rows(
         t0 = t1;
     }
     out
+}
+
+/// Accumulate `tile_buf[local][j] = −2 · src[t0 + local] · Xᵀ[.., j]`
+/// for the row tile `[t0, t1)` of `src` — the one Gram micro-kernel
+/// behind both [`knn_indices`] (`src` = the data itself) and
+/// [`cross_sq_dist_map`] (`src` = the query batch). Sharing the
+/// implementation is what makes their per-pair values bit-identical
+/// **by construction** — the exactness contract `mtrl-stream`'s
+/// incremental maintenance rests on.
+///
+/// Every output row is accumulated over `k` in ascending order with no
+/// skip, so the value of each `(i, j)` cross term is independent of
+/// tiles, register blocking and threads.
+fn gram_tile_neg2(src: &Mat, xt: &Mat, t0: usize, t1: usize, tile_buf: &mut [f64]) {
+    let n = xt.cols();
+    let d = src.cols();
+    let rows = t1 - t0;
+    tile_buf[..rows * n].fill(0.0);
+    let mut brows: Vec<&mut [f64]> = tile_buf[..rows * n].chunks_mut(n.max(1)).collect();
+    for (g, group) in brows.chunks_mut(4).enumerate() {
+        let i0 = t0 + g * 4;
+        if let [b0, b1, b2, b3] = group {
+            // Register-blocked micro-kernel: four output rows share
+            // each streamed strip of Xᵀ (quartering Xᵀ traffic) and
+            // the k dimension is unrolled by four so each output
+            // load/store amortises over four FMAs. `mul_add` maps to
+            // one hardware FMA per element (the repo builds with
+            // `target-cpu=native`, see .cargo/config.toml); on
+            // FMA-less targets it falls back to a slow libm call but
+            // stays exact. A nested `mul_add` chain performs the
+            // exact same rounding sequence as the sequential k loop
+            // of the remainder kernel below, keeping every path
+            // bit-identical.
+            let xr = [
+                src.row(i0),
+                src.row(i0 + 1),
+                src.row(i0 + 2),
+                src.row(i0 + 3),
+            ];
+            let mut jt = 0;
+            while jt < n {
+                let je = (jt + JT).min(n);
+                let mut k = 0;
+                while k + 4 <= d {
+                    let xk = [
+                        &xt.row(k)[jt..je],
+                        &xt.row(k + 1)[jt..je],
+                        &xt.row(k + 2)[jt..je],
+                        &xt.row(k + 3)[jt..je],
+                    ];
+                    for (b, x) in [&mut **b0, b1, b2, b3].into_iter().zip(xr) {
+                        let a = [
+                            -2.0 * x[k],
+                            -2.0 * x[k + 1],
+                            -2.0 * x[k + 2],
+                            -2.0 * x[k + 3],
+                        ];
+                        axpy4_fma(&mut b[jt..je], a, xk);
+                    }
+                    k += 4;
+                }
+                while k < d {
+                    let xk = &xt.row(k)[jt..je];
+                    for (b, x) in [&mut **b0, b1, b2, b3].into_iter().zip(xr) {
+                        axpy1_fma(&mut b[jt..je], -2.0 * x[k], xk);
+                    }
+                    k += 1;
+                }
+                jt = je;
+            }
+        } else {
+            // Remainder rows one at a time; per-(i, j) arithmetic is
+            // the same k-ascending accumulation as the quad kernel.
+            for (local, brow) in group.iter_mut().enumerate() {
+                let xrow = src.row(i0 + local);
+                for (k, &xv) in xrow.iter().enumerate() {
+                    axpy1_fma(brow, -2.0 * xv, xt.row(k));
+                }
+            }
+        }
+    }
+}
+
+/// Squared distance `‖a − b‖²` through the Gram identity
+/// `g_a + g_b − 2·aᵀb`, with the cross term accumulated in ascending-`k`
+/// FMA order — **the exact rounding sequence of the blocked kernel**
+/// ([`axpy1_fma`] / [`axpy4_fma`] chains), so the value equals what any
+/// tile/thread layout of [`cross_sq_dist_map`] produces for the same
+/// pair. `g_a` / `g_b` must be `dot(a, a)` / `dot(b, b)` of the rows as
+/// passed (callers that centre their data pass centred rows and norms).
+///
+/// `mtrl-stream`'s `DynamicGraph` uses this for single-pair repairs so
+/// repaired neighbour lists stay consistent with batch-inserted ones.
+#[inline]
+pub fn gram_sq_dist(a: &[f64], b: &[f64], g_a: f64, g_b: f64) -> f64 {
+    let mut acc = 0.0;
+    for (&av, &bv) in a.iter().zip(b) {
+        acc = (-2.0 * av).mul_add(bv, acc);
+    }
+    g_a + g_b + acc
+}
+
+/// Blocked Gram-trick distances of `queries` rows against **all**
+/// `corpus` rows, streamed to a per-query callback.
+///
+/// For each query row `q` (in order), `f(q, strip)` receives the strip
+/// `strip[j] = g_q + g_j − 2·x_qᵀx_j` over every corpus row `j`,
+/// computed with the same register-blocked ascending-`k` FMA kernel as
+/// [`knn_indices`] — each `(q, j)` value is a pure function of the two
+/// rows, independent of tiling, threading and of how queries are
+/// batched across calls. Queries are distributed over `threads` workers
+/// in contiguous chunks; results come back in query order.
+///
+/// Callers own the centring policy: the full-graph path centres by the
+/// data's column means; an incremental consumer must pass rows (and
+/// matching `q_norms` / `c_norms` of squared row norms) translated by
+/// one *fixed* vector so distances compare consistently across batches.
+///
+/// # Panics
+/// Panics if the column counts differ or a norm slice has the wrong
+/// length.
+pub fn cross_sq_dist_map<T, F>(
+    queries: &Mat,
+    q_norms: &[f64],
+    corpus: &Mat,
+    c_norms: &[f64],
+    threads: usize,
+    f: F,
+) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize, &[f64]) -> T + Sync,
+{
+    assert_eq!(
+        queries.cols(),
+        corpus.cols(),
+        "cross_sq_dist_map: dimension mismatch"
+    );
+    assert_eq!(q_norms.len(), queries.rows(), "q_norms length");
+    assert_eq!(c_norms.len(), corpus.rows(), "c_norms length");
+    let n = corpus.rows();
+    if n == 0 {
+        // Degenerate but well-formed: every query sees an empty strip.
+        return (0..queries.rows()).map(|q| f(q, &[])).collect();
+    }
+    let ct = corpus.transpose();
+    par_chunks_map(queries.rows(), threads, |range| {
+        let mut out = Vec::with_capacity(range.len());
+        let mut tile_buf = vec![0.0; TILE.min(range.len().max(1)) * n];
+        let mut t0 = range.start;
+        while t0 < range.end {
+            let t1 = (t0 + TILE).min(range.end);
+            // The shared micro-kernel of `knn_rows` — per-pair cross
+            // terms are bit-identical between the two entry points by
+            // construction.
+            gram_tile_neg2(queries, &ct, t0, t1, &mut tile_buf);
+            for local in 0..(t1 - t0) {
+                let q = t0 + local;
+                let gq = q_norms[q];
+                let strip = &mut tile_buf[local * n..(local + 1) * n];
+                for (s, &gj) in strip.iter_mut().zip(c_norms) {
+                    *s += gq + gj;
+                }
+                out.push(f(q, strip));
+            }
+            t0 = t1;
+        }
+        out
+    })
 }
 
 /// `o[j] += a · x[j]` as one FMA per element.
@@ -389,10 +490,37 @@ pub fn pnn_graph(data: &Mat, p: usize, scheme: WeightScheme) -> Csr {
 /// [`pnn_graph`] with an explicit worker-thread count; bit-identical
 /// output for every `threads` value.
 pub fn pnn_graph_with_threads(data: &Mat, p: usize, scheme: WeightScheme, threads: usize) -> Csr {
-    let n = data.rows();
     let neighbours = knn_indices_with_threads(data, p, threads);
+    graph_from_neighbours(data, &neighbours, scheme, threads)
+}
+
+/// Assemble the symmetric weighted graph of Eq. (3) from precomputed
+/// neighbour lists — the weighting + "or"-symmetrisation half of
+/// [`pnn_graph`], shared with incremental constructions (`mtrl-stream`'s
+/// `DynamicGraph`) so a dynamically maintained neighbour structure
+/// exports *exactly* the graph the batch path would build from the same
+/// lists. Weights are pairwise functions of the raw feature rows
+/// (`sq_dist` / `cosine`), so they never depend on how the lists were
+/// obtained; heat-kernel self-tuning (`sigma <= 0`) recomputes the mean
+/// squared neighbour distance over the lists as given.
+///
+/// `neighbours[i]` must hold index-sorted, in-range neighbours of row
+/// `i`, excluding `i` itself (rows with no neighbours are allowed and
+/// yield empty graph rows).
+///
+/// # Panics
+/// Panics if `neighbours.len() != data.rows()` or a list violates the
+/// ordering contract (via the CSR builder).
+pub fn graph_from_neighbours(
+    data: &Mat,
+    neighbours: &[Vec<usize>],
+    scheme: WeightScheme,
+    threads: usize,
+) -> Csr {
+    let n = data.rows();
+    assert_eq!(neighbours.len(), n, "one neighbour list per data row");
     let sigma = match scheme {
-        WeightScheme::HeatKernel { sigma } if sigma <= 0.0 => self_tuning_sigma(data, &neighbours),
+        WeightScheme::HeatKernel { sigma } if sigma <= 0.0 => self_tuning_sigma(data, neighbours),
         WeightScheme::HeatKernel { sigma } => sigma,
         _ => 1.0,
     };
@@ -417,7 +545,8 @@ pub fn pnn_graph_with_threads(data: &Mat, p: usize, scheme: WeightScheme, thread
             .collect()
     });
     // Neighbour lists are index-sorted, so the CSR assembles directly.
-    let mut out = mtrl_sparse::CsrBuilder::with_capacity(n, n, 2 * p * n);
+    let max_p = neighbours.iter().map(Vec::len).max().unwrap_or(0);
+    let mut out = mtrl_sparse::CsrBuilder::with_capacity(n, n, 2 * max_p * n);
     for (neigh, ws) in neighbours.iter().zip(&weights) {
         for (&j, &w) in neigh.iter().zip(ws) {
             if w > 0.0 {
@@ -600,6 +729,88 @@ mod tests {
         // And the graph construction stays finite-shaped too.
         let w = pnn_graph(&data, 2, WeightScheme::Binary);
         assert_eq!(w.rows(), 4);
+    }
+
+    #[test]
+    fn cross_kernel_matches_pair_function_bitwise() {
+        // Every strip value must equal the scalar `gram_sq_dist` of the
+        // same two rows — the contract `DynamicGraph` repairs rely on —
+        // and must be bit-identical for every thread count.
+        let queries = rand_uniform(23, 9, -1.0, 1.0, 90);
+        let corpus = rand_uniform(41, 9, -1.0, 1.0, 91);
+        let qn: Vec<f64> = (0..23)
+            .map(|i| dot(queries.row(i), queries.row(i)))
+            .collect();
+        let cn: Vec<f64> = (0..41).map(|i| dot(corpus.row(i), corpus.row(i))).collect();
+        let strips = |threads| {
+            cross_sq_dist_map(&queries, &qn, &corpus, &cn, threads, |_, strip| {
+                strip.to_vec()
+            })
+        };
+        let serial = strips(1);
+        for (q, strip) in serial.iter().enumerate() {
+            for (j, &v) in strip.iter().enumerate() {
+                let pair = gram_sq_dist(queries.row(q), corpus.row(j), qn[q], cn[j]);
+                assert_eq!(v.to_bits(), pair.to_bits(), "({q},{j})");
+                // And the Gram value approximates the stable distance.
+                let direct = sq_dist(queries.row(q), corpus.row(j));
+                assert!((v - direct).abs() < 1e-9, "({q},{j}): {v} vs {direct}");
+            }
+        }
+        for threads in 2..=5 {
+            assert_eq!(strips(threads), serial, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn cross_kernel_batched_queries_identical() {
+        // Distances are a pure pair function: splitting the query set
+        // across calls must not change a single bit.
+        let data = rand_uniform(37, 6, -1.0, 1.0, 92);
+        let norms: Vec<f64> = (0..37).map(|i| dot(data.row(i), data.row(i))).collect();
+        let whole = cross_sq_dist_map(&data, &norms, &data, &norms, 1, |_, s| s.to_vec());
+        let mut pieces = Vec::new();
+        for (r0, r1) in [(0usize, 5usize), (5, 6), (6, 30), (30, 37)] {
+            let part = data.submatrix(r0, 0, r1 - r0, 6);
+            pieces.extend(cross_sq_dist_map(
+                &part,
+                &norms[r0..r1],
+                &data,
+                &norms,
+                2,
+                |_, s| s.to_vec(),
+            ));
+        }
+        assert_eq!(whole, pieces);
+    }
+
+    #[test]
+    fn cross_kernel_empty_corpus_yields_empty_strips() {
+        let queries = rand_uniform(3, 4, -1.0, 1.0, 94);
+        let qn: Vec<f64> = (0..3)
+            .map(|i| dot(queries.row(i), queries.row(i)))
+            .collect();
+        let strips = cross_sq_dist_map(&queries, &qn, &Mat::zeros(0, 4), &[], 2, |q, s| {
+            (q, s.len())
+        });
+        assert_eq!(strips, vec![(0, 0), (1, 0), (2, 0)]);
+    }
+
+    #[test]
+    fn graph_from_neighbours_matches_pnn_graph() {
+        let data = rand_uniform(30, 5, 0.0, 1.0, 93);
+        for scheme in [
+            WeightScheme::Binary,
+            WeightScheme::HeatKernel { sigma: -1.0 },
+            WeightScheme::Cosine,
+        ] {
+            let neighbours = knn_indices(&data, 4);
+            assert_eq!(
+                graph_from_neighbours(&data, &neighbours, scheme, 1),
+                pnn_graph(&data, 4, scheme),
+                "{scheme:?}"
+            );
+        }
     }
 
     #[test]

@@ -29,7 +29,7 @@ mod serde_impl;
 
 pub use ensemble::{hetero_ensemble, linear_combination};
 pub use knn::{
-    knn_indices, knn_indices_serial, knn_indices_with_threads, pnn_graph, pnn_graph_with_threads,
-    WeightScheme,
+    cross_sq_dist_map, gram_sq_dist, graph_from_neighbours, knn_indices, knn_indices_serial,
+    knn_indices_with_threads, pnn_graph, pnn_graph_with_threads, WeightScheme,
 };
 pub use laplacian::{laplacian_csr, laplacian_dense, LaplacianKind};

@@ -154,16 +154,40 @@ impl ServeEngine {
     /// Register (or replace) a model under a name. The model is wrapped
     /// in an [`Assigner`], which validates it.
     ///
+    /// Re-registering an existing name is an **atomic hot-swap** — the
+    /// streaming refresh path (`mtrl-stream`) relies on these semantics
+    /// to roll a refitted model into a live engine:
+    ///
+    /// * the fully-validated `Arc<Assigner>` replaces the old one in a
+    ///   single map insert under the registry write lock, so a
+    ///   concurrent request resolves either the old model or the new
+    ///   one, never a partially-initialised state (no torn read);
+    /// * in-flight requests that already resolved their `Arc` finish
+    ///   against the old model (it is freed when the last of them
+    ///   drops it); requests submitted after the swap see the new one;
+    /// * a swap never errors a request: there is no gap in which the
+    ///   name is unregistered.
+    ///
     /// # Errors
-    /// Returns [`ServeError::Corrupt`] for a model that fails validation.
+    /// Returns [`ServeError::Corrupt`] for a model that fails validation
+    /// (in which case the previously registered model, if any, stays in
+    /// place untouched).
     pub fn register(&self, name: impl Into<String>, model: FittedModel) -> Result<(), ServeError> {
-        let assigner = Assigner::new(model)?;
+        self.register_shared(name, Arc::new(Assigner::new(model)?));
+        Ok(())
+    }
+
+    /// Register (or hot-swap, same semantics as [`Self::register`]) a
+    /// pre-built assigner without cloning or re-validating its model —
+    /// the zero-copy path for callers that already hold a validated
+    /// `Arc<Assigner>` they keep using themselves, like the streaming
+    /// refresh loop (`mtrl-stream`).
+    pub fn register_shared(&self, name: impl Into<String>, assigner: Arc<Assigner>) {
         self.inner
             .models
             .write()
             .expect("model registry poisoned")
-            .insert(name.into(), Arc::new(assigner));
-        Ok(())
+            .insert(name.into(), assigner);
     }
 
     /// Remove a model; returns whether it was present. In-flight requests
@@ -393,6 +417,54 @@ mod tests {
         engine.register("m", tiny_fitted_model(57)).unwrap();
         assert_eq!(engine.model_names().len(), 1);
         assert!(engine.assign("m", 0, some_docs(2)).is_ok());
+    }
+
+    #[test]
+    fn hot_swap_is_atomic_under_load() {
+        // Hammer `assign` from several threads while the main thread
+        // repeatedly re-registers the name with a different model. Every
+        // response must succeed and equal one model's exact output —
+        // half-swapped state would produce a posterior matching neither.
+        let engine = Arc::new(ServeEngine::new(4));
+        let a = tiny_fitted_model(60);
+        let b = tiny_fitted_model(61);
+        engine.register("m", a.clone()).unwrap();
+        let probe = SparseVec::new(vec![1, 4, 9], vec![1.0, 0.5, 0.25]).unwrap();
+        let pa = Assigner::new(a.clone()).unwrap().assign(0, &probe).unwrap();
+        let pb = Assigner::new(b.clone()).unwrap().assign(0, &probe).unwrap();
+        assert_ne!(pa, pb, "probe must distinguish the two models");
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let hammers: Vec<_> = (0..4)
+            .map(|_| {
+                let engine = Arc::clone(&engine);
+                let stop = Arc::clone(&stop);
+                let probe = probe.clone();
+                let (pa, pb) = (pa.clone(), pb.clone());
+                std::thread::spawn(move || {
+                    let mut served = 0u64;
+                    while !stop.load(Ordering::Relaxed) {
+                        let r = engine
+                            .assign("m", 0, vec![probe.clone()])
+                            .expect("assign across a swap must not error");
+                        let p = &r.posteriors[0];
+                        assert!(p == &pa || p == &pb, "torn read: {p:?}");
+                        served += 1;
+                    }
+                    served
+                })
+            })
+            .collect();
+        for i in 0..200 {
+            let next = if i % 2 == 0 { b.clone() } else { a.clone() };
+            engine.register("m", next).unwrap();
+            if i % 50 == 0 {
+                std::thread::yield_now();
+            }
+        }
+        stop.store(true, Ordering::Relaxed);
+        let total: u64 = hammers.into_iter().map(|h| h.join().unwrap()).sum();
+        assert!(total > 0, "hammer threads never got a response");
+        assert_eq!(engine.stats().errors, 0);
     }
 
     #[test]

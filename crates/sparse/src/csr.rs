@@ -426,6 +426,53 @@ impl Csr {
         }
     }
 
+    /// Stack `other` below `self` — the streaming-ingest primitive: an
+    /// accumulated relation matrix grows by a batch of new object rows
+    /// in `O(nnz)` copying without touching existing entries.
+    ///
+    /// # Panics
+    /// Panics if the column counts differ.
+    pub fn vstack(&self, other: &Csr) -> Csr {
+        assert_eq!(self.cols, other.cols, "vstack: column count mismatch");
+        let mut indptr = Vec::with_capacity(self.rows + other.rows + 1);
+        indptr.extend_from_slice(&self.indptr);
+        let base = self.nnz();
+        indptr.extend(other.indptr[1..].iter().map(|&p| base + p));
+        let mut indices = Vec::with_capacity(self.nnz() + other.nnz());
+        indices.extend_from_slice(&self.indices);
+        indices.extend_from_slice(&other.indices);
+        let mut values = Vec::with_capacity(self.nnz() + other.nnz());
+        values.extend_from_slice(&self.values);
+        values.extend_from_slice(&other.values);
+        Csr {
+            rows: self.rows + other.rows,
+            cols: self.cols,
+            indptr,
+            indices,
+            values,
+        }
+    }
+
+    /// Build from per-row `(indices, values)` pairs with strictly
+    /// increasing column indices (the layout sparse feature rows arrive
+    /// in from a stream); exact zeros are dropped.
+    ///
+    /// # Panics
+    /// Panics if a row's lengths differ, columns are out of range or not
+    /// strictly increasing (via the builder's invariant check).
+    pub fn from_sparse_rows(rows: &[(Vec<usize>, Vec<f64>)], cols: usize) -> Csr {
+        let nnz = rows.iter().map(|(idx, _)| idx.len()).sum();
+        let mut b = CsrBuilder::with_capacity(rows.len(), cols, nnz);
+        for (idx, vals) in rows {
+            assert_eq!(idx.len(), vals.len(), "row index/value length mismatch");
+            for (&j, &v) in idx.iter().zip(vals) {
+                b.push(j, v);
+            }
+            b.finish_row();
+        }
+        b.build()
+    }
+
     /// Elementwise maximum with the transpose: `max(A, Aᵀ)` — the standard
     /// symmetrisation of a pNN graph (Eq. 3's "or" rule: an edge exists if
     /// either endpoint selects the other).
@@ -713,6 +760,34 @@ mod tests {
     #[should_panic(expected = "columns not strictly increasing")]
     fn invariant_violation_panics() {
         Csr::from_raw_parts(1, 3, vec![0, 2], vec![1, 1], vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn vstack_matches_dense_stack() {
+        let a = random_sparse(5, 7, 0.4, 70);
+        let b = random_sparse(3, 7, 0.6, 71);
+        let stacked = a.vstack(&b);
+        assert_eq!(stacked.shape(), (8, 7));
+        let expect = a.to_dense().vstack(&b.to_dense()).unwrap();
+        assert!(stacked.to_dense().approx_eq(&expect, 0.0));
+        // Empty sides are fine.
+        assert_eq!(a.vstack(&Csr::zeros(0, 7)), a);
+        assert_eq!(Csr::zeros(0, 7).vstack(&a), a);
+    }
+
+    #[test]
+    fn from_sparse_rows_roundtrip() {
+        let rows = vec![
+            (vec![1usize, 4], vec![0.5, -2.0]),
+            (vec![], vec![]),
+            (vec![0, 2, 5], vec![1.0, 0.0, 3.0]), // exact zero dropped
+        ];
+        let s = Csr::from_sparse_rows(&rows, 6);
+        assert_eq!(s.shape(), (3, 6));
+        assert_eq!(s.nnz(), 4);
+        assert_eq!(s.get(0, 4), -2.0);
+        assert_eq!(s.get(2, 2), 0.0);
+        assert_eq!(s.get(2, 5), 3.0);
     }
 
     #[test]

@@ -1,0 +1,41 @@
+//! Error type of the streaming subsystem.
+
+use mtrl_serve::ServeError;
+use rhchme::RhchmeError;
+use std::fmt;
+
+/// Anything the streaming layer can fail with.
+#[derive(Debug)]
+pub enum StreamError {
+    /// Fit / export / data-assembly failure from the core crate.
+    Rhchme(RhchmeError),
+    /// Fold-in / registration failure from the serving crate.
+    Serve(ServeError),
+    /// Streaming-layer contract violation (mismatched layouts, bad
+    /// batch shapes).
+    Invalid(String),
+}
+
+impl fmt::Display for StreamError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StreamError::Rhchme(e) => write!(f, "core error: {e}"),
+            StreamError::Serve(e) => write!(f, "serve error: {e}"),
+            StreamError::Invalid(msg) => write!(f, "invalid stream operation: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for StreamError {}
+
+impl From<RhchmeError> for StreamError {
+    fn from(e: RhchmeError) -> Self {
+        StreamError::Rhchme(e)
+    }
+}
+
+impl From<ServeError> for StreamError {
+    fn from(e: ServeError) -> Self {
+        StreamError::Serve(e)
+    }
+}

@@ -1,0 +1,511 @@
+//! Stream orchestration: ingest → fold-in → refresh policy → hot swap.
+//!
+//! [`StreamSession`] ties the pieces of the streaming subsystem
+//! together for the canonical document stream:
+//!
+//! 1. every pushed [`StreamBatch`] is **folded in** against the current
+//!    model (posteriors + confidence — the serving answer a live system
+//!    would return immediately);
+//! 2. the batch is appended to the accumulated corpus and inserted into
+//!    the document [`DynamicGraph`] (incremental pNN maintenance — no
+//!    `O(n² d)` rebuild on the hot path);
+//! 3. the **refresh policy** decides whether to refit: every `k`
+//!    batches, and/or drift-triggered when the batch's mean fold-in
+//!    confidence drops below a floor (a drifted distribution no longer
+//!    resembles any learned centroid, so max-posteriors sag);
+//! 4. a refit is a **warm mini-batch refresh**: `G₀` seeded from the
+//!    previous model (survivor rows copied, new rows from fold-in
+//!    posteriors), the document Laplacian taken from the incrementally
+//!    maintained graph, a capped iteration budget
+//!    ([`rhchme::Rhchme::fit_warm`]);
+//! 5. the refreshed [`FittedModel`] is **hot-swapped** into an attached
+//!    [`ServeEngine`] under its registered name — in-flight requests
+//!    finish against the old model, new submissions see the new one
+//!    (see `ServeEngine::register`'s atomic-swap contract).
+//!
+//! Terms and concepts have feature views that *grow* with the document
+//! count (their features are relations *to* documents), so their pNN
+//! graphs are rebuilt per refit — they are the small types; the
+//! documents, whose feature view has fixed width `terms + concepts`,
+//! are the type that streams and the type whose graph is maintained
+//! incrementally.
+
+use crate::dynamic::{DynamicGraph, DynamicGraphConfig};
+use crate::error::StreamError;
+use crate::warm::{grown_survivors, warm_membership};
+use mtrl_datagen::stream::{append_batch, StreamBatch};
+use mtrl_datagen::MultiTypeCorpus;
+use mtrl_graph::{laplacian_csr, pnn_graph};
+use mtrl_linalg::Mat;
+use mtrl_serve::{Assigner, ServeEngine, SparseVec};
+use mtrl_sparse::SparseBlockDiag;
+use mtrl_subspace::SpgConfig;
+use rhchme::export::FittedModel;
+use rhchme::intra::{hetero_laplacian, subspace_laplacians};
+use rhchme::rhchme::WarmStart;
+use rhchme::{MultiTypeData, Rhchme, RhchmeResult};
+use std::sync::Arc;
+
+/// When to refresh the model.
+#[derive(Debug, Clone)]
+pub struct RefreshPolicy {
+    /// Refit after this many batches since the last refresh (`None`
+    /// disables the cadence trigger).
+    pub every_batches: Option<usize>,
+    /// Drift trigger: refit when a batch's mean fold-in confidence
+    /// (mean max-posterior) falls below this floor (`None` disables).
+    pub min_confidence: Option<f64>,
+    /// Batches to suppress the drift trigger for after any refit.
+    /// Under *sustained* drift the confidence floor would otherwise
+    /// refit on every single batch — each refit incorporates the new
+    /// evidence, but it also rebuilds the growing term/concept graphs,
+    /// so per-batch cost scales with corpus size. `0` (the default)
+    /// keeps the maximally adaptive behaviour; raise it to bound the
+    /// refresh rate during long drifts. The cadence trigger is not
+    /// affected.
+    pub drift_cooldown: usize,
+    /// Iteration cap of a warm refit (a cold fit runs the full
+    /// `RhchmeConfig::max_iter`).
+    pub warm_iters: usize,
+    /// Recompute the subspace ensemble member `L_S` on refresh. SPG is
+    /// the expensive stage; `false` (the streaming default) refreshes
+    /// against the pNN member alone, which the incremental graphs
+    /// provide for free.
+    pub refresh_subspace: bool,
+}
+
+impl Default for RefreshPolicy {
+    fn default() -> Self {
+        RefreshPolicy {
+            every_batches: None,
+            min_confidence: Some(0.5),
+            drift_cooldown: 0,
+            warm_iters: 15,
+            refresh_subspace: false,
+        }
+    }
+}
+
+/// What triggered a refit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RefitTrigger {
+    /// The `every_batches` cadence.
+    Cadence,
+    /// Fold-in confidence fell below the policy floor.
+    Drift,
+    /// Explicit [`StreamSession::refit_now`] call.
+    Manual,
+}
+
+/// Outcome of one (warm) refit.
+#[derive(Debug, Clone)]
+pub struct RefitReport {
+    /// Why the refit ran.
+    pub trigger: RefitTrigger,
+    /// Multiplicative-update iterations the warm refresh performed.
+    pub iterations: usize,
+    /// Final objective value of the refresh.
+    pub final_objective: f64,
+    /// Documents in the corpus the model is now fitted on.
+    pub corpus_docs: usize,
+}
+
+/// Outcome of one [`StreamSession::push_batch`].
+#[derive(Debug, Clone)]
+pub struct PushReport {
+    /// Fold-in hard labels of the batch, in order (the serving answer).
+    pub labels: Vec<usize>,
+    /// Mean max-posterior of the batch under the pre-push model.
+    pub mean_confidence: f64,
+    /// The refit this push triggered, if any.
+    pub refit: Option<RefitReport>,
+}
+
+/// A live streaming session over one growing corpus.
+pub struct StreamSession {
+    rhchme: Rhchme,
+    policy: RefreshPolicy,
+    corpus: MultiTypeCorpus,
+    doc_graph: DynamicGraph,
+    assigner: Arc<Assigner>,
+    last_result: RhchmeResult,
+    engine: Option<(Arc<ServeEngine>, String)>,
+    batches_since_refit: usize,
+    total_batches: usize,
+}
+
+impl StreamSession {
+    /// Cold-fit `rhchme` on the initial corpus and stand the session up
+    /// around the fitted model.
+    ///
+    /// # Errors
+    /// Propagates fit and export errors.
+    pub fn new(
+        initial: MultiTypeCorpus,
+        rhchme: Rhchme,
+        policy: RefreshPolicy,
+    ) -> Result<Self, StreamError> {
+        // Assemble the multi-type data once and share it between the
+        // fit, the export and the graph construction.
+        let data = MultiTypeData::from_corpus(&initial, rhchme.config().feature_cluster_divisor)?;
+        let result = rhchme.fit_data(&data)?;
+        let model = rhchme.export_model_from_data(&result, &data)?;
+        let doc_graph = DynamicGraph::new(
+            &data.features(0),
+            DynamicGraphConfig {
+                p: rhchme.config().p,
+                scheme: rhchme.config().weight_scheme,
+                ..DynamicGraphConfig::default()
+            },
+        );
+        let assigner = Arc::new(Assigner::new(model)?);
+        Ok(StreamSession {
+            rhchme,
+            policy,
+            corpus: initial,
+            doc_graph,
+            assigner,
+            last_result: result,
+            engine: None,
+            batches_since_refit: 0,
+            total_batches: 0,
+        })
+    }
+
+    /// Register the current model with a serving engine under `name`;
+    /// every future refit hot-swaps the refreshed model in.
+    ///
+    /// # Errors
+    /// Propagates registration errors.
+    pub fn attach_engine(
+        &mut self,
+        engine: Arc<ServeEngine>,
+        name: impl Into<String>,
+    ) -> Result<(), StreamError> {
+        let name = name.into();
+        // Zero-copy: the engine shares the session's already-validated
+        // assigner instead of cloning and re-validating the model.
+        engine.register_shared(name.clone(), Arc::clone(&self.assigner));
+        self.engine = Some((engine, name));
+        Ok(())
+    }
+
+    /// The current fitted model.
+    pub fn model(&self) -> &FittedModel {
+        self.assigner.model()
+    }
+
+    /// The most recent fit result (cold fit at construction, then each
+    /// refresh).
+    pub fn last_result(&self) -> &RhchmeResult {
+        &self.last_result
+    }
+
+    /// The accumulated corpus.
+    pub fn corpus(&self) -> &MultiTypeCorpus {
+        &self.corpus
+    }
+
+    /// The incrementally maintained document graph.
+    pub fn doc_graph(&self) -> &DynamicGraph {
+        &self.doc_graph
+    }
+
+    /// Batches pushed since the last refresh.
+    pub fn batches_since_refit(&self) -> usize {
+        self.batches_since_refit
+    }
+
+    /// Ingest one batch: fold in (serving answer), append to the
+    /// corpus, update the document graph, and refit if the policy says
+    /// so.
+    ///
+    /// # Errors
+    /// Propagates fold-in and refit errors; a batch with mismatched
+    /// per-document row counts is rejected as [`StreamError::Invalid`].
+    pub fn push_batch(&mut self, batch: &StreamBatch) -> Result<PushReport, StreamError> {
+        if batch.doc_term.len() != batch.len() || batch.doc_concept.len() != batch.len() {
+            return Err(StreamError::Invalid(format!(
+                "batch rows mismatch: {} terms / {} concepts / {} labels",
+                batch.doc_term.len(),
+                batch.doc_concept.len(),
+                batch.len()
+            )));
+        }
+        let num_terms = self.corpus.num_terms();
+        // 1. Fold in against the current model — the serving answer.
+        let docs: Vec<SparseVec> = (0..batch.len())
+            .map(|i| {
+                let (indices, values) = batch.feature_row(i, num_terms);
+                SparseVec::new(indices, values)
+            })
+            .collect::<Result<_, _>>()?;
+        let posteriors = self.assigner.assign_batch(0, &docs)?;
+        let labels = Assigner::labels(&posteriors);
+        let mean_confidence = if posteriors.is_empty() {
+            1.0
+        } else {
+            posteriors
+                .iter()
+                .map(|p| p.iter().cloned().fold(0.0, f64::max))
+                .sum::<f64>()
+                / posteriors.len() as f64
+        };
+
+        // 2. Accumulate: corpus rows + incremental graph insertion.
+        append_batch(&mut self.corpus, batch);
+        let dense_rows: Vec<Vec<f64>> = docs
+            .iter()
+            .map(|d| {
+                let mut row = vec![0.0; self.doc_graph.dim()];
+                for (&j, &v) in d.indices.iter().zip(&d.values) {
+                    row[j] = v;
+                }
+                row
+            })
+            .collect();
+        if !dense_rows.is_empty() {
+            let mat =
+                Mat::from_rows(&dense_rows).map_err(|e| StreamError::Invalid(e.to_string()))?;
+            self.doc_graph.insert_batch(&mat);
+        }
+        self.total_batches += 1;
+        self.batches_since_refit += 1;
+
+        // 3. Policy. The drift trigger honours the cooldown (counted in
+        // batches since the last refit of any kind); the cadence
+        // trigger does not.
+        let drift = self.batches_since_refit > self.policy.drift_cooldown
+            && self
+                .policy
+                .min_confidence
+                .is_some_and(|floor| mean_confidence < floor);
+        let cadence = self
+            .policy
+            .every_batches
+            .is_some_and(|k| self.batches_since_refit >= k);
+        let refit = if drift {
+            Some(self.refit(RefitTrigger::Drift)?)
+        } else if cadence {
+            Some(self.refit(RefitTrigger::Cadence)?)
+        } else {
+            None
+        };
+        Ok(PushReport {
+            labels,
+            mean_confidence,
+            refit,
+        })
+    }
+
+    /// Force a refresh outside the policy.
+    ///
+    /// # Errors
+    /// Propagates refit errors.
+    pub fn refit_now(&mut self) -> Result<RefitReport, StreamError> {
+        self.refit(RefitTrigger::Manual)
+    }
+
+    /// The warm mini-batch refresh (step 4 of the module docs).
+    fn refit(&mut self, trigger: RefitTrigger) -> Result<RefitReport, StreamError> {
+        let cfg = self.rhchme.config().clone();
+        let data = MultiTypeData::from_corpus(&self.corpus, cfg.feature_cluster_divisor)?;
+
+        // pNN member: the document block comes from the incrementally
+        // maintained graph; term/concept blocks (small types, growing
+        // feature views) are rebuilt.
+        let mut blocks = vec![self.doc_graph.laplacian(cfg.laplacian_kind)];
+        for t in 1..data.num_types() {
+            let w = pnn_graph(&data.features(t), cfg.p, cfg.weight_scheme);
+            blocks.push(laplacian_csr(&w, cfg.laplacian_kind));
+        }
+        let l_e = SparseBlockDiag::new(blocks)
+            .map_err(|e| StreamError::Invalid(format!("laplacian block assembly failed: {e}")))?;
+        let l = if self.policy.refresh_subspace {
+            let spg_cfg = SpgConfig {
+                gamma: cfg.gamma,
+                max_iter: cfg.spg_max_iter,
+                seed: cfg.seed,
+                ..SpgConfig::default()
+            };
+            let l_s = subspace_laplacians(&data.all_features(), &spg_cfg, cfg.laplacian_kind)?;
+            hetero_laplacian(&l_s, &l_e, cfg.alpha)?
+        } else {
+            l_e
+        };
+
+        let survivors = grown_survivors(&self.model().sizes, data.sizes());
+        let g0 = warm_membership(&data, &self.assigner, &survivors, 0.1)?;
+        let result = self.rhchme.fit_warm(
+            &data,
+            WarmStart {
+                g0,
+                laplacian: Some(l),
+                max_iter: self.policy.warm_iters,
+            },
+        )?;
+        let model = self.rhchme.export_model_from_data(&result, &data)?;
+        // 5. Atomic hot swap: one validated assigner is built and
+        // shared between the session and the attached engine
+        // (ServeEngine::register_shared replaces in one map insert;
+        // in-flight requests finish on the old model).
+        self.assigner = Arc::new(Assigner::new(model)?);
+        if let Some((engine, name)) = &self.engine {
+            engine.register_shared(name.clone(), Arc::clone(&self.assigner));
+        }
+        let report = RefitReport {
+            trigger,
+            iterations: result.iterations,
+            final_objective: *result.objective_trace.last().unwrap_or(&f64::NAN),
+            corpus_docs: self.corpus.num_docs(),
+        };
+        self.last_result = result;
+        self.batches_since_refit = 0;
+        Ok(report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mtrl_datagen::stream::{generate_stream, StreamConfig};
+    use mtrl_datagen::CorpusConfig;
+    use rhchme::RhchmeConfig;
+
+    fn stream_cfg() -> StreamConfig {
+        StreamConfig {
+            base: CorpusConfig {
+                docs_per_class: vec![10, 10, 10],
+                vocab_size: 90,
+                concept_count: 30,
+                doc_len_range: (30, 50),
+                background_frac: 0.3,
+                topic_noise: 0.2,
+                concept_map_noise: 0.1,
+                corrupt_frac: 0.0,
+                subtopics_per_class: 1,
+                view_confusion: 0.0,
+                seed: 130,
+            },
+            batches: 3,
+            docs_per_batch: 6,
+            drift_after: None,
+            drift_shift: 0.0,
+        }
+    }
+
+    fn fast_rhchme() -> Rhchme {
+        Rhchme::new(RhchmeConfig {
+            lambda: 1.0,
+            ..RhchmeConfig::fast()
+        })
+    }
+
+    #[test]
+    fn session_accumulates_and_serves() {
+        let (initial, batches) = generate_stream(&stream_cfg());
+        let mut session = StreamSession::new(
+            initial,
+            fast_rhchme(),
+            RefreshPolicy {
+                every_batches: None,
+                min_confidence: None,
+                ..RefreshPolicy::default()
+            },
+        )
+        .unwrap();
+        let docs0 = session.corpus().num_docs();
+        for batch in &batches {
+            let report = session.push_batch(batch).unwrap();
+            assert_eq!(report.labels.len(), 6);
+            assert!(report.mean_confidence > 0.0 && report.mean_confidence <= 1.0);
+            assert!(report.refit.is_none());
+        }
+        assert_eq!(session.corpus().num_docs(), docs0 + 18);
+        assert_eq!(session.doc_graph().num_rows(), docs0 + 18);
+        assert_eq!(session.batches_since_refit(), 3);
+        // Stationary, clean batches fold in with decent accuracy.
+        let mut agree = 0;
+        let mut total = 0;
+        for batch in &batches {
+            let report_labels = session
+                .assigner
+                .assign_batch(
+                    0,
+                    &(0..batch.len())
+                        .map(|i| {
+                            let (idx, vals) = batch.feature_row(i, session.corpus().num_terms());
+                            SparseVec::new(idx, vals).unwrap()
+                        })
+                        .collect::<Vec<_>>(),
+                )
+                .unwrap();
+            let labels = Assigner::labels(&report_labels);
+            let f = mtrl_metrics::fscore(&batch.labels, &labels);
+            assert!(f.is_finite());
+            agree += (f * 100.0) as usize;
+            total += 1;
+        }
+        assert!(agree / total > 50, "mean fold-in F {agree}/{total}");
+    }
+
+    #[test]
+    fn cadence_policy_triggers_warm_refit_and_swaps_engine() {
+        let (initial, batches) = generate_stream(&stream_cfg());
+        let mut session = StreamSession::new(
+            initial,
+            fast_rhchme(),
+            RefreshPolicy {
+                every_batches: Some(2),
+                min_confidence: None,
+                drift_cooldown: 0,
+                warm_iters: 8,
+                refresh_subspace: false,
+            },
+        )
+        .unwrap();
+        let engine = Arc::new(ServeEngine::new(2));
+        session.attach_engine(Arc::clone(&engine), "live").unwrap();
+        let d0 = engine
+            .assign("live", 0, vec![SparseVec::from_dense(&[0.5; 120])])
+            .unwrap();
+        assert_eq!(d0.posteriors.len(), 1);
+
+        let r1 = session.push_batch(&batches[0]).unwrap();
+        assert!(r1.refit.is_none());
+        let r2 = session.push_batch(&batches[1]).unwrap();
+        let refit = r2.refit.expect("cadence refit after 2 batches");
+        assert_eq!(refit.trigger, RefitTrigger::Cadence);
+        assert!(refit.iterations <= 8);
+        assert_eq!(refit.corpus_docs, 30 + 12);
+        assert_eq!(session.batches_since_refit(), 0);
+        // The refreshed model covers the grown corpus and is live in
+        // the engine.
+        assert_eq!(session.model().sizes[0], 42);
+        assert!(engine
+            .assign("live", 0, vec![SparseVec::from_dense(&[0.5; 120])])
+            .is_ok());
+    }
+
+    #[test]
+    fn manual_refit_reports() {
+        let (initial, batches) = generate_stream(&stream_cfg());
+        let mut session = StreamSession::new(
+            initial,
+            fast_rhchme(),
+            RefreshPolicy {
+                every_batches: None,
+                min_confidence: None,
+                drift_cooldown: 0,
+                warm_iters: 5,
+                refresh_subspace: false,
+            },
+        )
+        .unwrap();
+        session.push_batch(&batches[0]).unwrap();
+        let report = session.refit_now().unwrap();
+        assert_eq!(report.trigger, RefitTrigger::Manual);
+        assert!(report.iterations <= 5 && report.iterations >= 1);
+        assert!(report.final_objective.is_finite());
+    }
+}

@@ -17,20 +17,26 @@ pub use mtrl_linalg as linalg;
 pub use mtrl_metrics as metrics;
 pub use mtrl_serve as serve;
 pub use mtrl_sparse as sparse;
+pub use mtrl_stream as stream;
 pub use mtrl_subspace as subspace;
 pub use rhchme as core;
 
 /// Convenience prelude: the types most programs need.
 pub mod prelude {
     pub use mtrl_datagen::datasets::{load, DatasetId, Scale};
+    pub use mtrl_datagen::stream::{generate_stream, StreamBatch, StreamConfig};
     pub use mtrl_datagen::{split_corpus, CorpusConfig, HeldOutDoc, MultiTypeCorpus};
     pub use mtrl_metrics::{adjusted_rand_index, fscore, nmi, purity};
     pub use mtrl_serve::{
         AssignRequest, AssignResponse, Assigner, FittedModel, ServeEngine, ServeError, SparseVec,
         StatsSnapshot,
     };
+    pub use mtrl_stream::{
+        DynamicGraph, DynamicGraphConfig, PushReport, RefitReport, RefitTrigger, RefreshPolicy,
+        StreamError, StreamSession,
+    };
     pub use rhchme::pipeline::{run_method, Method, MethodOutput, PipelineParams};
-    pub use rhchme::rhchme::{Rhchme, RhchmeConfig, RhchmeResult};
+    pub use rhchme::rhchme::{Rhchme, RhchmeConfig, RhchmeResult, WarmStart};
     pub use rhchme::MultiTypeData;
 }
 
