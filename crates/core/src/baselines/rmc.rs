@@ -66,7 +66,7 @@ pub fn run_rmc(data: &MultiTypeData, cfg: &RmcConfig) -> Result<RmcResult> {
     let features = data.all_features();
     let candidates = rmc_candidates(&features, cfg.laplacian_kind)?;
     let g0 = init_membership(data, &features, cfg.seed);
-    let r = data.assemble_r();
+    let r = data.assemble_r_csr();
     let engine_cfg = EngineConfig {
         lambda: cfg.lambda,
         use_error_matrix: false,

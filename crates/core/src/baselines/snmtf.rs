@@ -58,7 +58,7 @@ pub fn run_snmtf(data: &MultiTypeData, cfg: &SnmtfConfig) -> Result<RhchmeResult
     let features = data.all_features();
     let l = pnn_laplacians(&features, cfg.p, cfg.weight_scheme, cfg.laplacian_kind)?;
     let g0 = init_membership(data, &features, cfg.seed);
-    let r = data.assemble_r();
+    let r = data.assemble_r_csr();
     let engine_cfg = EngineConfig {
         lambda: cfg.lambda,
         use_error_matrix: false,

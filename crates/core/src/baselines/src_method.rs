@@ -42,7 +42,7 @@ impl Default for SrcConfig {
 pub fn run_src(data: &MultiTypeData, cfg: &SrcConfig) -> Result<RhchmeResult> {
     let features = data.all_features();
     let g0 = init_membership(data, &features, cfg.seed);
-    let r = data.assemble_r();
+    let r = data.assemble_r_csr();
     let engine_cfg = EngineConfig {
         lambda: 0.0,
         use_error_matrix: false,

@@ -1,4 +1,5 @@
-//! The NMTF multiplicative-update engine — paper Algorithm 2.
+//! The NMTF multiplicative-update engine — paper Algorithm 2,
+//! **sparse-first**.
 //!
 //! One engine drives RHCHME and the NMTF-based baselines; they differ only
 //! in configuration:
@@ -10,29 +11,70 @@
 //! | RMC     | [`GraphRegularizer::Ensemble`] (6 pNN candidates) | off | off |
 //! | RHCHME  | [`GraphRegularizer::Fixed`] (heterogeneous, Eq. 12) | on | on |
 //!
+//! # The sparse formulation
+//!
+//! The decomposition target `R` is a symmetric block matrix of
+//! inter-type co-occurrences — inherently sparse (`z = nnz(R) ≪ n²`,
+//! the quantity the paper's own complexity analysis in Sec. III-F is
+//! written in). [`run_engine`] therefore takes `R` as a
+//! [`mtrl_sparse::Csr`] (from [`MultiTypeData::assemble_r_csr`]) and
+//! never forms an `n x n` dense matrix:
+//!
+//! * **`E_R` is implicit.** Eq. 27's row shrinkage is
+//!   `(E_R)_i = f_i·q_i` with `f_i = 1/(1 + β/(2‖q_i‖ + ζ))` and
+//!   `Q = R − G S Gᵀ`, so
+//!   `R − E_R = D_{1−f}·R + D_f·U·Hᵀ` where `U = G S` and `H = G` are
+//!   the previous iterate's factors — a diagonal scaling of sparse `R`
+//!   plus a rank-`c` correction. The engine stores only `f` and the two
+//!   `n x c` factors; [`mtrl_linalg::lowrank::diag_lowrank_combine`]
+//!   applies the correction directly to `R·G`.
+//! * **`G S Gᵀ` is never materialised.** `A = (R − E_R)·G·Sᵀ` runs as
+//!   one sparse SpMM (`R·G`, reused across steps) plus the low-rank
+//!   correction; the Eq. 27 row residuals come from the trace identity
+//!   `‖q_i‖² = ‖r_i‖² − 2·(R G Sᵀ)_i·g_i + g_i (S GᵀG Sᵀ) g_iᵀ`
+//!   evaluated per row block
+//!   ([`mtrl_linalg::lowrank::row_dots`] / [`row_quad_forms`]).
+//! * **The objective is trace-form.** `J₄`'s fit term is
+//!   `Σ_i (1 − f_i)²‖q_i‖²` (equivalently
+//!   `tr((R−E)ᵀ(R−E)) − 2·tr(Gᵀ(R−E)G Sᵀ) + tr(SᵀGᵀG S GᵀG)` — the
+//!   identities `tr((R−E)ᵀGSGᵀ) = tr(Gᵀ(R−E)G Sᵀ)` and
+//!   `‖GSGᵀ‖²_F = tr(SᵀGᵀG S GᵀG)` folded into the row residuals), so
+//!   no `n x n` temporary survives anywhere in the loop.
+//!
+//! Per-iteration cost is `O(nnz·c + n·c²)` (was `O(n²·c)`) and resident
+//! memory is `O(nnz + n·c)` (was three `n x n` buffers). The original
+//! dense loop is kept verbatim as [`run_engine_dense_reference`] for
+//! tests and benches; a cross-implementation proptest
+//! (`tests/integration_engine.rs`) pins the two to the same objective
+//! trace (1e-9 relative) and identical argmax labels across method
+//! configurations and thread counts.
+//!
 //! Per iteration (Algorithm 2 steps 3–7):
 //!
 //! 1. `S = (GᵀG)⁻¹ Gᵀ (R − E_R) G (GᵀG)⁻¹` (Eq. 18), ridge-stabilised;
 //! 2. multiplicative `G` update (Eq. 21) with positive/negative part
 //!    splits of `L`, `A = (R − E_R) G Sᵀ` and `B = Sᵀ GᵀG S`;
 //! 3. row-ℓ1 normalisation of `G` (Eq. 22) when enabled;
-//! 4. `E_R` update (Eq. 27): because `(βD + I)` is diagonal this is the
-//!    row-wise shrinkage `(E_R)_i = q_i / (1 + β / (2‖q_i‖₂ + ζ))` with
-//!    `q_i` the i-th row of `Q = R − G S Gᵀ`;
+//! 4. `E_R` update (Eq. 27) as the shrinkage factors `f` above;
 //! 5. objective `J₄` (Eq. 15) evaluation and convergence check.
 //!
-//! The iteration allocates only small (`n x c`) temporaries; the two
-//! `n x n` buffers (`Q` and `R − E_R`) are reused across iterations.
+//! The final `E_R` is reported two ways: `error_row_norms` (every row's
+//! `‖(E_R)_i‖`, the corruption indicator) and `error_rows` — a
+//! [`mtrl_sparse::RowSparse`] materialising only the *shrunk-active*
+//! rows (norm ≥ [`EngineConfig::error_export_rel`] of the largest),
+//! matching the ℓ2,1 model: most rows shrink to near-zero, corrupted
+//! samples stay large.
 
 use crate::error::RhchmeError;
 use crate::multitype::MultiTypeData;
 use crate::Result;
+use mtrl_linalg::lowrank::{diag_lowrank_combine, row_dots, row_quad_forms};
 use mtrl_linalg::norms::row_l2_norms;
 use mtrl_linalg::ops::{g_s_gt, gram, matmul, matmul_tn};
 use mtrl_linalg::simplex::project_simplex;
 use mtrl_linalg::solve::ridge_inverse;
 use mtrl_linalg::{Mat, EPS};
-use mtrl_sparse::SparseBlockDiag;
+use mtrl_sparse::{Csr, RowSparse, SparseBlockDiag};
 
 /// Graph regulariser attached to the trace term `λ·tr(GᵀLG)`.
 #[derive(Debug, Clone)]
@@ -77,6 +119,12 @@ pub struct EngineConfig {
     /// The ζ perturbation regularising `D_ii` when `‖q_i‖ = 0`
     /// (Sec. III-D3).
     pub zeta: f64,
+    /// Activity threshold for materialising final `E_R` rows into
+    /// [`EngineResult::error_rows`], relative to the largest row norm:
+    /// rows with `‖(E_R)_i‖ ≥ error_export_rel · max_j ‖(E_R)_j‖` are
+    /// stored. Keeps the export at `O(active · n)` — under the ℓ2,1
+    /// model only outlier (corrupted) rows clear half the maximum.
+    pub error_export_rel: f64,
 }
 
 impl Default for EngineConfig {
@@ -91,6 +139,7 @@ impl Default for EngineConfig {
             record_labels_for_type: None,
             ridge: 1e-10,
             zeta: 1e-8,
+            error_export_rel: 0.5,
         }
     }
 }
@@ -115,36 +164,20 @@ pub struct EngineResult {
     /// Row l2 norms of the final `E_R` (empty when disabled) — corrupted
     /// samples show up as the large entries.
     pub error_row_norms: Vec<f64>,
+    /// The shrunk-active rows of the final `E_R` (rows whose norm clears
+    /// [`EngineConfig::error_export_rel`] of the maximum), stored
+    /// row-sparsely; an all-zero `n x n` when `E_R` is disabled.
+    pub error_rows: RowSparse,
 }
 
-/// Run the multiplicative-update engine.
-///
-/// * `r` — dense symmetric inter-type matrix from
-///   [`MultiTypeData::assemble_r`];
-/// * `data` — block layouts (and label extraction);
-/// * `reg` — graph regulariser (see [`GraphRegularizer`]);
-/// * `g0` — initial membership (from
-///   [`crate::kmeans::labels_to_membership`], block-structured).
-///
-/// # Errors
-/// * [`RhchmeError::InvalidData`] / [`RhchmeError::InvalidConfig`] on
-///   shape or parameter violations;
-/// * [`RhchmeError::Diverged`] if an iterate becomes non-finite.
-pub fn run_engine(
-    r: &Mat,
-    data: &MultiTypeData,
+/// Shared validation of everything except the `R` operand.
+fn validate_common(
+    n: usize,
+    c: usize,
+    g0: &Mat,
     reg: &GraphRegularizer,
-    g0: Mat,
     cfg: &EngineConfig,
-) -> Result<EngineResult> {
-    let n = data.total_objects();
-    let c = data.total_clusters();
-    if r.shape() != (n, n) {
-        return Err(RhchmeError::InvalidData(format!(
-            "R is {:?}, expected ({n}, {n})",
-            r.shape()
-        )));
-    }
+) -> Result<()> {
     if g0.shape() != (n, c) {
         return Err(RhchmeError::InvalidData(format!(
             "G0 is {:?}, expected ({n}, {c})",
@@ -156,16 +189,20 @@ pub fn run_engine(
             "lambda and beta must be nonnegative".into(),
         ));
     }
+    if !(0.0..=1.0).contains(&cfg.error_export_rel) {
+        return Err(RhchmeError::InvalidConfig(format!(
+            "error_export_rel {} outside [0, 1]",
+            cfg.error_export_rel
+        )));
+    }
     if g0.min() < 0.0 {
         return Err(RhchmeError::InvalidData("G0 has negative entries".into()));
     }
     match reg {
-        GraphRegularizer::Fixed(l) if l.n() != n => {
-            return Err(RhchmeError::InvalidData(format!(
-                "Laplacian is {}x{0}, expected {n}x{n}",
-                l.n()
-            )));
-        }
+        GraphRegularizer::Fixed(l) if l.n() != n => Err(RhchmeError::InvalidData(format!(
+            "Laplacian is {}x{0}, expected {n}x{n}",
+            l.n()
+        ))),
         GraphRegularizer::Ensemble { candidates, mu } => {
             if candidates.is_empty() {
                 return Err(RhchmeError::InvalidConfig(
@@ -180,51 +217,52 @@ pub fn run_engine(
                     "ensemble candidate with wrong dimension".into(),
                 ));
             }
+            Ok(())
         }
-        _ => {}
+        _ => Ok(()),
+    }
+}
+
+/// The per-iteration regulariser state shared by both engine paths.
+struct RegState<'a> {
+    /// Fixed case: borrowed Laplacian + its part split, computed once.
+    /// The Laplacian itself is **borrowed** from the caller's
+    /// [`GraphRegularizer`] — a fit never deep-copies the `O(p·n)`
+    /// triplets (the split parts are new matrices by necessity).
+    fixed: Option<(&'a SparseBlockDiag, (SparseBlockDiag, SparseBlockDiag))>,
+}
+
+impl<'a> RegState<'a> {
+    fn new(reg: &'a GraphRegularizer) -> Self {
+        RegState {
+            fixed: match reg {
+                GraphRegularizer::Fixed(l) => Some((l, l.split_parts())),
+                _ => None,
+            },
+        }
     }
 
-    let mut g = g0;
-    let mut s = Mat::zeros(c, c);
-    // Fixed regulariser: split parts once.
-    let fixed_parts = match reg {
-        GraphRegularizer::Fixed(l) => Some((l.clone(), l.split_parts())),
-        _ => None,
-    };
-    let mut ensemble_weights: Option<Vec<f64>> = None;
-
-    // Workhorse n x n buffers.
-    let mut r_eff = r.clone(); // R − E_R (E_R starts at zero)
-    let mut q; // R − G S Gᵀ
-    let mut error_row_norms: Vec<f64> = Vec::new();
-    let mut er_factors: Vec<f64> = vec![0.0; n];
-
-    let mut objective_trace = Vec::with_capacity(cfg.max_iter);
-    let mut label_trace = Vec::new();
-    let mut prev_obj = f64::INFINITY;
-    let mut converged = false;
-    let mut iterations = 0;
-    // Per-iteration storage for the (recomputed) ensemble Laplacian so the
-    // fixed case can hand out references without cloning. The compiler
-    // cannot see that each iteration's value is consumed within that same
-    // iteration, hence the allow.
-    #[allow(unused_assignments)]
-    let mut ens_storage: Option<(SparseBlockDiag, SparseBlockDiag, SparseBlockDiag)> = None;
-
-    for t in 0..cfg.max_iter {
-        iterations = t + 1;
-
-        // ---- Regulariser for this iteration -------------------------
-        let (l_current, l_plus, l_minus): (
-            Option<&SparseBlockDiag>,
-            Option<&SparseBlockDiag>,
-            Option<&SparseBlockDiag>,
-        ) = match (&fixed_parts, reg) {
-            (Some((l, (lp, lm))), _) => (Some(l), Some(lp), Some(lm)),
+    /// Resolve this iteration's `(L, L⁺, L⁻)`; the ensemble case
+    /// re-optimises `β` against the current `G` and stores the combined
+    /// Laplacian in `storage` so references stay borrowable.
+    #[allow(clippy::type_complexity)]
+    fn resolve<'b>(
+        &'b self,
+        reg: &'b GraphRegularizer,
+        g: &Mat,
+        storage: &'b mut Option<(SparseBlockDiag, SparseBlockDiag, SparseBlockDiag)>,
+        ensemble_weights: &mut Option<Vec<f64>>,
+    ) -> Result<(
+        Option<&'b SparseBlockDiag>,
+        Option<&'b SparseBlockDiag>,
+        Option<&'b SparseBlockDiag>,
+    )> {
+        match (&self.fixed, reg) {
+            (Some((l, (lp, lm))), _) => Ok((Some(*l), Some(lp), Some(lm))),
             (None, GraphRegularizer::Ensemble { candidates, mu }) => {
                 let traces: Vec<f64> = candidates
                     .iter()
-                    .map(|cand| cand.trace_quad(&g))
+                    .map(|cand| cand.trace_quad(g))
                     .collect::<std::result::Result<_, _>>()?;
                 let target: Vec<f64> = traces.iter().map(|&t| -t / (2.0 * mu)).collect();
                 let beta_w = project_simplex(&target, 1.0);
@@ -234,14 +272,362 @@ pub fn run_engine(
                 for (cand, &b) in candidates.iter().zip(&beta_w).skip(1) {
                     acc = acc.lin_comb(1.0, cand, b).expect("same layout");
                 }
-                ensemble_weights = Some(beta_w);
+                *ensemble_weights = Some(beta_w);
                 let (lp, lm) = acc.split_parts();
-                ens_storage = Some((acc, lp, lm));
-                let (l, lp, lm) = ens_storage.as_ref().expect("just stored");
-                (Some(l), Some(lp), Some(lm))
+                *storage = Some((acc, lp, lm));
+                let (l, lp, lm) = storage.as_ref().expect("just stored");
+                Ok((Some(l), Some(lp), Some(lm)))
             }
-            (None, _) => (None, None, None),
+            (None, _) => Ok((None, None, None)),
+        }
+    }
+}
+
+/// The multiplicative `G` update of Eq. 21, shared by both paths: each
+/// entry scales by `sqrt(num/den)`; structural zeros stay zero.
+fn multiplicative_update(
+    g: &mut Mat,
+    a: &Mat,
+    gb_pos: &Mat,
+    gb_neg: &Mat,
+    lp_g: Option<&Mat>,
+    lm_g: Option<&Mat>,
+    lambda: f64,
+) {
+    let (n, c) = g.shape();
+    for i in 0..n {
+        let a_row = a.row(i);
+        let gbp = gb_pos.row(i);
+        let gbn = gb_neg.row(i);
+        let lpg = lp_g.as_ref().map(|m| m.row(i));
+        let lmg = lm_g.as_ref().map(|m| m.row(i));
+        let grow = g.row_mut(i);
+        for j in 0..c {
+            let gv = grow[j];
+            if gv == 0.0 {
+                continue; // structural zero (block layout) stays zero
+            }
+            let a_pos = a_row[j].max(0.0);
+            let a_neg = (-a_row[j]).max(0.0);
+            let (l_num, l_den) = match (lmg, lpg) {
+                (Some(lm), Some(lp)) => (lambda * lm[j], lambda * lp[j]),
+                _ => (0.0, 0.0),
+            };
+            let num = l_num + a_pos + gbn[j];
+            let den = l_den + a_neg + gbp[j];
+            grow[j] = gv * ((num + EPS) / (den + EPS)).sqrt();
+        }
+    }
+}
+
+/// Run the multiplicative-update engine — the **sparse-first** default
+/// path.
+///
+/// * `r` — symmetric block CSR from
+///   [`MultiTypeData::assemble_r_csr`] (relations are never densified);
+/// * `data` — block layouts (and label extraction);
+/// * `reg` — graph regulariser (see [`GraphRegularizer`]); a
+///   [`GraphRegularizer::Fixed`] Laplacian is borrowed, not cloned;
+/// * `g0` — initial membership (from
+///   [`crate::kmeans::labels_to_membership`], block-structured).
+///
+/// Per iteration `O(nnz·c + n·c²)` work, `O(nnz + n·c)` memory; see the
+/// module docs for the implicit `E_R` / trace-identity formulation. The
+/// row-parallel kernels run on the [`mtrl_linalg::par`] pool and are
+/// bit-identical for every thread count.
+///
+/// # Errors
+/// * [`RhchmeError::InvalidData`] / [`RhchmeError::InvalidConfig`] on
+///   shape or parameter violations;
+/// * [`RhchmeError::Diverged`] if an iterate becomes non-finite.
+pub fn run_engine(
+    r: &Csr,
+    data: &MultiTypeData,
+    reg: &GraphRegularizer,
+    g0: Mat,
+    cfg: &EngineConfig,
+) -> Result<EngineResult> {
+    let n = data.total_objects();
+    let c = data.total_clusters();
+    if r.shape() != (n, n) {
+        return Err(RhchmeError::InvalidData(format!(
+            "R is {:?}, expected ({n}, {n})",
+            r.shape()
+        )));
+    }
+    validate_common(n, c, &g0, reg, cfg)?;
+
+    let mut g = g0;
+    let mut s = Mat::zeros(c, c);
+    let reg_state = RegState::new(reg);
+    let mut ensemble_weights: Option<Vec<f64>> = None;
+
+    // Row structure of R for the residual trace identity.
+    let r_row_sq: Vec<f64> = (0..n)
+        .map(|i| r.row(i).1.iter().map(|v| v * v).sum())
+        .collect();
+
+    // Implicit E_R: shrinkage factors f plus the previous iterate's
+    // low-rank factors (U = G·S, H = G), so that
+    // R − E_R = D_{1−f}·R + D_f·U·Hᵀ.
+    let mut f_er: Vec<f64> = vec![0.0; n];
+    let mut one_minus_f: Vec<f64> = vec![1.0; n];
+    let mut prev_lowrank: Option<(Mat, Mat)> = None;
+    let mut error_row_norms: Vec<f64> = Vec::new();
+    let mut final_q_norms: Vec<f64> = Vec::new();
+
+    // R·G and GᵀG for the *current* G — computed before the loop,
+    // refreshed after every G update, and shared between the residual
+    // identity of iteration t and step 3 of iteration t+1 (one SpMM and
+    // one gram per iteration).
+    let mut rg = r.spmm_dense(&g);
+    let mut gram_cur = gram(&g);
+
+    let mut objective_trace = Vec::with_capacity(cfg.max_iter);
+    let mut label_trace = Vec::new();
+    let mut prev_obj = f64::INFINITY;
+    let mut converged = false;
+    let mut iterations = 0;
+    // Per-iteration storage for the (recomputed) ensemble Laplacian so the
+    // fixed case can hand out references without cloning.
+    #[allow(unused_assignments)]
+    let mut ens_storage: Option<(SparseBlockDiag, SparseBlockDiag, SparseBlockDiag)> = None;
+
+    for t in 0..cfg.max_iter {
+        iterations = t + 1;
+
+        // ---- Regulariser for this iteration -------------------------
+        ens_storage = None;
+        let (l_current, l_plus, l_minus) =
+            reg_state.resolve(reg, &g, &mut ens_storage, &mut ensemble_weights)?;
+
+        // ---- Step 3: S update (Eq. 18) ------------------------------
+        // m1 = (R − E_R)·G = D_{1−f}·(R·G) + D_f·U·(Hᵀ·G); before the
+        // first shrinkage E_R = 0 and m1 is R·G itself.
+        let m1_corrected = match &prev_lowrank {
+            Some((u, h)) => {
+                let w = matmul_tn(h, &g)?; // Hᵀ·G, c x c
+                Some(diag_lowrank_combine(&one_minus_f, &rg, &f_er, u, &w)?)
+            }
+            None => None,
         };
+        let m1: &Mat = m1_corrected.as_ref().unwrap_or(&rg);
+        let gram_g = &gram_cur; // GᵀG of the pre-update G, c x c
+        let ginv = ridge_inverse(gram_g, cfg.ridge)?;
+        let gtm = matmul_tn(&g, m1)?; // Gᵀ(R − E_R)G, c x c
+        s = matmul(&matmul(&ginv, &gtm)?, &ginv)?;
+
+        // ---- Step 4: multiplicative G update (Eq. 21) ---------------
+        let a = matmul(m1, &s.transpose())?; // (R − E_R) G Sᵀ, n x c
+        let b = matmul_tn(&s, &matmul(gram_g, &s)?)?; // Sᵀ GᵀG S, c x c
+        let (b_pos, b_neg) = mtrl_linalg::parts::split_parts(&b);
+        let gb_pos = matmul(&g, &b_pos)?;
+        let gb_neg = matmul(&g, &b_neg)?;
+        let (lp_g, lm_g) = match (&l_plus, &l_minus) {
+            (Some(lp), Some(lm)) => (Some(lp.mul_dense(&g)?), Some(lm.mul_dense(&g)?)),
+            _ => (None, None),
+        };
+        multiplicative_update(
+            &mut g,
+            &a,
+            &gb_pos,
+            &gb_neg,
+            lp_g.as_ref(),
+            lm_g.as_ref(),
+            cfg.lambda,
+        );
+        if g.has_non_finite() {
+            return Err(RhchmeError::Diverged { iteration: t });
+        }
+
+        // ---- Step 5: row-l1 normalisation (Eq. 22) ------------------
+        if cfg.l1_row_normalize {
+            g.normalize_rows_l1(1e-300);
+        }
+
+        // ---- Steps 6-7: E_R update (Eqs. 25-27), trace form ----------
+        // Refresh R·G and GᵀG for the updated G (also next iteration's
+        // step 3 — neither is recomputed there).
+        rg = r.spmm_dense(&g);
+        gram_cur = gram(&g);
+        // ‖q_i‖² = ‖r_i‖² − 2·(R G Sᵀ)_i·g_i + g_i (S GᵀG Sᵀ) g_iᵀ —
+        // per row block, no Q matrix. Cancellation is clamped at zero.
+        let m_q = matmul(&matmul(&s, &gram_cur)?, &s.transpose())?; // S K Sᵀ
+        let rgst = matmul(&rg, &s.transpose())?;
+        let cross = row_dots(&rgst, &g)?;
+        let quad = row_quad_forms(&g, &m_q)?;
+        let q_norms: Vec<f64> = (0..n)
+            .map(|i| (r_row_sq[i] - 2.0 * cross[i] + quad[i]).max(0.0).sqrt())
+            .collect();
+        let mut fit = 0.0;
+        let mut l21 = 0.0;
+        if cfg.use_error_matrix {
+            for i in 0..n {
+                // (βD + I)⁻¹ row factor: f = 1 / (1 + β / (2‖q_i‖ + ζ)).
+                f_er[i] = 1.0 / (1.0 + cfg.beta / (2.0 * q_norms[i] + cfg.zeta));
+                one_minus_f[i] = 1.0 - f_er[i];
+                // ‖Q − E_R‖² = Σ (1−f)²‖q‖², ‖E_R‖₂,₁ = Σ f‖q‖.
+                let residual = one_minus_f[i] * q_norms[i];
+                fit += residual * residual;
+                l21 += f_er[i] * q_norms[i];
+            }
+            error_row_norms = f_er.iter().zip(&q_norms).map(|(f, qn)| f * qn).collect();
+            // Next iteration's low-rank factors of R − E_R.
+            prev_lowrank = Some((matmul(&g, &s)?, g.clone()));
+            final_q_norms = q_norms;
+        } else {
+            fit = q_norms.iter().map(|x| x * x).sum();
+        }
+
+        // ---- Objective J₄ (Eq. 15) ----------------------------------
+        let reg_term = match &l_current {
+            Some(l) => l.trace_quad(&g)?,
+            None => 0.0,
+        };
+        let l21_term = if cfg.use_error_matrix {
+            cfg.beta * l21
+        } else {
+            0.0
+        };
+        let obj = fit + l21_term + cfg.lambda * reg_term;
+        objective_trace.push(obj);
+
+        if let Some(ty) = cfg.record_labels_for_type {
+            label_trace.push(data.labels_from_membership(&g, ty));
+        }
+
+        // ---- Convergence ---------------------------------------------
+        if t > 0 {
+            let denom = prev_obj.abs().max(1.0);
+            if (prev_obj - obj).abs() / denom < cfg.tol {
+                converged = true;
+                break;
+            }
+        }
+        prev_obj = obj;
+    }
+
+    let error_rows = if cfg.use_error_matrix {
+        materialize_error_rows(
+            r,
+            &g,
+            &s,
+            &f_er,
+            &final_q_norms,
+            &error_row_norms,
+            cfg.error_export_rel,
+        )?
+    } else {
+        RowSparse::new(n, n)
+    };
+
+    Ok(EngineResult {
+        g,
+        s,
+        objective_trace,
+        label_trace,
+        iterations,
+        converged,
+        ensemble_weights,
+        error_row_norms,
+        error_rows,
+    })
+}
+
+/// Materialise the shrunk-active rows of `E_R = D_f·(R − G S Gᵀ)`: rows
+/// whose final norm clears `rel` of the maximum. `O(active · n · c)` —
+/// each active row reconstructs `q_i = r_i − (G S)_i Gᵀ` on the fly.
+fn materialize_error_rows(
+    r: &Csr,
+    g: &Mat,
+    s: &Mat,
+    f_er: &[f64],
+    q_norms: &[f64],
+    row_norms: &[f64],
+    rel: f64,
+) -> Result<RowSparse> {
+    let n = r.rows();
+    let mut out = RowSparse::new(n, n);
+    let max = row_norms.iter().cloned().fold(0.0, f64::max);
+    if max <= 0.0 {
+        return Ok(out);
+    }
+    let threshold = rel * max;
+    let gs = matmul(g, s)?;
+    for i in 0..n {
+        if row_norms[i] < threshold || q_norms[i] == 0.0 {
+            continue;
+        }
+        let fi = f_er[i];
+        let gsi = gs.row(i);
+        let mut row: Vec<f64> = (0..n)
+            .map(|j| {
+                let dot: f64 = gsi.iter().zip(g.row(j)).map(|(a, b)| a * b).sum();
+                -fi * dot
+            })
+            .collect();
+        let (cols, vals) = r.row(i);
+        for (&j, &v) in cols.iter().zip(vals) {
+            row[j] += fi * v;
+        }
+        out.push_row(i, row);
+    }
+    Ok(out)
+}
+
+/// The original dense loop of Algorithm 2, kept as the cross-check
+/// reference for [`run_engine`] (tests, benches, numerical debugging).
+///
+/// Takes the dense `R` from [`MultiTypeData::assemble_r`]; keeps two
+/// `n x n` buffers (`Q` and `R − E_R`) resident — `O(n²·c)` per
+/// iteration. Not used by any fit path.
+///
+/// # Errors
+/// Same contract as [`run_engine`].
+pub fn run_engine_dense_reference(
+    r: &Mat,
+    data: &MultiTypeData,
+    reg: &GraphRegularizer,
+    g0: Mat,
+    cfg: &EngineConfig,
+) -> Result<EngineResult> {
+    let n = data.total_objects();
+    let c = data.total_clusters();
+    if r.shape() != (n, n) {
+        return Err(RhchmeError::InvalidData(format!(
+            "R is {:?}, expected ({n}, {n})",
+            r.shape()
+        )));
+    }
+    validate_common(n, c, &g0, reg, cfg)?;
+
+    let mut g = g0;
+    let mut s = Mat::zeros(c, c);
+    let reg_state = RegState::new(reg);
+    let mut ensemble_weights: Option<Vec<f64>> = None;
+
+    // Workhorse n x n buffers.
+    let mut r_eff = r.clone(); // R − E_R (E_R starts at zero)
+    let mut q = Mat::zeros(0, 0); // R − G S Gᵀ
+    let mut error_row_norms: Vec<f64> = Vec::new();
+    let mut final_q_norms: Vec<f64> = Vec::new();
+    let mut er_factors: Vec<f64> = vec![0.0; n];
+
+    let mut objective_trace = Vec::with_capacity(cfg.max_iter);
+    let mut label_trace = Vec::new();
+    let mut prev_obj = f64::INFINITY;
+    let mut converged = false;
+    let mut iterations = 0;
+    #[allow(unused_assignments)]
+    let mut ens_storage: Option<(SparseBlockDiag, SparseBlockDiag, SparseBlockDiag)> = None;
+
+    for t in 0..cfg.max_iter {
+        iterations = t + 1;
+
+        // ---- Regulariser for this iteration -------------------------
+        ens_storage = None;
+        let (l_current, l_plus, l_minus) =
+            reg_state.resolve(reg, &g, &mut ens_storage, &mut ensemble_weights)?;
 
         // ---- Step 3: S update (Eq. 18) ------------------------------
         let m1 = matmul(&r_eff, &g)?; // (R − E_R)·G, n x c
@@ -260,29 +646,15 @@ pub fn run_engine(
             (Some(lp), Some(lm)) => (Some(lp.mul_dense(&g)?), Some(lm.mul_dense(&g)?)),
             _ => (None, None),
         };
-        for i in 0..n {
-            let a_row = a.row(i);
-            let gbp = gb_pos.row(i);
-            let gbn = gb_neg.row(i);
-            let lpg = lp_g.as_ref().map(|m| m.row(i));
-            let lmg = lm_g.as_ref().map(|m| m.row(i));
-            let grow = g.row_mut(i);
-            for j in 0..c {
-                let gv = grow[j];
-                if gv == 0.0 {
-                    continue; // structural zero (block layout) stays zero
-                }
-                let a_pos = a_row[j].max(0.0);
-                let a_neg = (-a_row[j]).max(0.0);
-                let (l_num, l_den) = match (lmg, lpg) {
-                    (Some(lm), Some(lp)) => (cfg.lambda * lm[j], cfg.lambda * lp[j]),
-                    _ => (0.0, 0.0),
-                };
-                let num = l_num + a_pos + gbn[j];
-                let den = l_den + a_neg + gbp[j];
-                grow[j] = gv * ((num + EPS) / (den + EPS)).sqrt();
-            }
-        }
+        multiplicative_update(
+            &mut g,
+            &a,
+            &gb_pos,
+            &gb_neg,
+            lp_g.as_ref(),
+            lm_g.as_ref(),
+            cfg.lambda,
+        );
         if g.has_non_finite() {
             return Err(RhchmeError::Diverged { iteration: t });
         }
@@ -321,6 +693,7 @@ pub fn run_engine(
                 .zip(&q_norms)
                 .map(|(f, qn)| f * qn)
                 .collect();
+            final_q_norms = q_norms;
         } else {
             fit = q_norms.iter().map(|x| x * x).sum();
         }
@@ -353,6 +726,25 @@ pub fn run_engine(
         prev_obj = obj;
     }
 
+    // Materialise the final E_R's active rows straight from Q.
+    let error_rows = if cfg.use_error_matrix && !error_row_norms.is_empty() {
+        let max = error_row_norms.iter().cloned().fold(0.0, f64::max);
+        let mut rows = RowSparse::new(n, n);
+        if max > 0.0 {
+            let threshold = cfg.error_export_rel * max;
+            for i in 0..n {
+                if error_row_norms[i] < threshold || final_q_norms[i] == 0.0 {
+                    continue;
+                }
+                let f = er_factors[i];
+                rows.push_row(i, q.row(i).iter().map(|&v| f * v).collect());
+            }
+        }
+        rows
+    } else {
+        RowSparse::new(n, n)
+    };
+
     Ok(EngineResult {
         g,
         s,
@@ -362,6 +754,7 @@ pub fn run_engine(
         converged,
         ensemble_weights,
         error_row_norms,
+        error_rows,
     })
 }
 
@@ -420,7 +813,7 @@ mod tests {
     #[test]
     fn src_configuration_runs_and_descends() {
         let (data, _) = tiny_data();
-        let r = data.assemble_r();
+        let r = data.assemble_r_csr();
         let g0 = init_g(&data, 1);
         let cfg = EngineConfig {
             lambda: 0.0,
@@ -444,12 +837,13 @@ mod tests {
         }
         assert!(res.g.min() >= 0.0);
         assert!(res.error_row_norms.is_empty());
+        assert!(res.error_rows.is_empty());
     }
 
     #[test]
     fn rhchme_configuration_descends_and_normalises() {
         let (data, _) = tiny_data();
-        let r = data.assemble_r();
+        let r = data.assemble_r_csr();
         let g0 = init_g(&data, 2);
         let lap = pnn_block_laplacian(&data);
         let cfg = EngineConfig {
@@ -477,9 +871,47 @@ mod tests {
     }
 
     #[test]
+    fn sparse_path_matches_dense_reference() {
+        // The unit-level pin; the integration proptest fuzzes this over
+        // corpora, configurations and thread counts.
+        let (data, _) = tiny_data();
+        let r_sparse = data.assemble_r_csr();
+        let r_dense = data.assemble_r();
+        let lap = pnn_block_laplacian(&data);
+        let g0 = init_g(&data, 9);
+        let cfg = EngineConfig {
+            lambda: 0.8,
+            beta: 10.0,
+            max_iter: 25,
+            tol: 0.0,
+            ..EngineConfig::default()
+        };
+        let reg = GraphRegularizer::Fixed(lap);
+        let sparse = run_engine(&r_sparse, &data, &reg, g0.clone(), &cfg).unwrap();
+        let dense = run_engine_dense_reference(&r_dense, &data, &reg, g0, &cfg).unwrap();
+        assert_eq!(sparse.iterations, dense.iterations);
+        for (a, b) in sparse.objective_trace.iter().zip(&dense.objective_trace) {
+            assert!(
+                (a - b).abs() <= 1e-9 * b.abs().max(1.0),
+                "objective diverged: {a} vs {b}"
+            );
+        }
+        for ty in 0..data.num_types() {
+            assert_eq!(
+                data.labels_from_membership(&sparse.g, ty),
+                data.labels_from_membership(&dense.g, ty),
+                "labels diverged for type {ty}"
+            );
+        }
+        for (a, b) in sparse.error_row_norms.iter().zip(&dense.error_row_norms) {
+            assert!((a - b).abs() < 1e-8, "error norms diverged: {a} vs {b}");
+        }
+    }
+
+    #[test]
     fn block_structure_preserved() {
         let (data, _) = tiny_data();
-        let r = data.assemble_r();
+        let r = data.assemble_r_csr();
         let g0 = init_g(&data, 3);
         let cfg = EngineConfig {
             lambda: 0.0,
@@ -505,7 +937,7 @@ mod tests {
     #[test]
     fn clusters_two_class_corpus_well() {
         let (data, corpus) = tiny_data();
-        let r = data.assemble_r();
+        let r = data.assemble_r_csr();
         let g0 = init_g(&data, 4);
         let lap = pnn_block_laplacian(&data);
         let cfg = EngineConfig {
@@ -523,7 +955,7 @@ mod tests {
     #[test]
     fn ensemble_regulariser_produces_simplex_weights() {
         let (data, _) = tiny_data();
-        let r = data.assemble_r();
+        let r = data.assemble_r_csr();
         let g0 = init_g(&data, 5);
         let feats = data.all_features();
         let mut candidates = Vec::new();
@@ -556,7 +988,8 @@ mod tests {
 
     #[test]
     fn error_matrix_targets_corrupted_rows() {
-        // Corrupt some documents; their E_R row norms should dominate.
+        // Corrupt some documents; their E_R row norms should dominate,
+        // and the row-sparse export should store (a superset of) them.
         let corpus = generate(&CorpusConfig {
             docs_per_class: vec![10, 10],
             vocab_size: 60,
@@ -571,7 +1004,7 @@ mod tests {
             seed: 21,
         });
         let data = MultiTypeData::from_corpus(&corpus, 10).unwrap();
-        let r = data.assemble_r();
+        let r = data.assemble_r_csr();
         let g0 = init_g(&data, 6);
         let cfg = EngineConfig {
             lambda: 0.0,
@@ -600,12 +1033,28 @@ mod tests {
             corrupt_mean > clean_mean,
             "corrupted rows not captured: {corrupt_mean} vs {clean_mean}"
         );
+        // The exported active rows agree with the reported norms and
+        // stay a strict subset of all rows (the ℓ2,1 point).
+        let n = data.total_objects();
+        assert_eq!(res.error_rows.shape(), (n, n));
+        assert!(res.error_rows.num_active() > 0);
+        assert!(res.error_rows.num_active() < n);
+        let max = norms.iter().cloned().fold(0.0, f64::max);
+        for (i, row) in res.error_rows.active_iter() {
+            assert!(norms[i] >= 0.5 * max, "inactive row {i} exported");
+            let rebuilt: f64 = row.iter().map(|v| v * v).sum::<f64>().sqrt();
+            assert!(
+                (rebuilt - norms[i]).abs() <= 1e-6 * norms[i].max(1e-12),
+                "row {i}: materialised norm {rebuilt} vs reported {}",
+                norms[i]
+            );
+        }
     }
 
     #[test]
     fn label_trace_recorded() {
         let (data, _) = tiny_data();
-        let r = data.assemble_r();
+        let r = data.assemble_r_csr();
         let g0 = init_g(&data, 7);
         let cfg = EngineConfig {
             lambda: 0.0,
@@ -623,7 +1072,7 @@ mod tests {
     #[test]
     fn rejects_bad_shapes_and_params() {
         let (data, _) = tiny_data();
-        let r = data.assemble_r();
+        let r = data.assemble_r_csr();
         let g_bad = Mat::zeros(3, 3);
         let cfg = EngineConfig::default();
         assert!(run_engine(&r, &data, &GraphRegularizer::None, g_bad, &cfg).is_err());
@@ -633,7 +1082,22 @@ mod tests {
             ..EngineConfig::default()
         };
         assert!(run_engine(&r, &data, &GraphRegularizer::None, g0.clone(), &bad_cfg).is_err());
-        let wrong_r = Mat::zeros(3, 3);
-        assert!(run_engine(&wrong_r, &data, &GraphRegularizer::None, g0, &cfg).is_err());
+        let bad_export = EngineConfig {
+            error_export_rel: 1.5,
+            ..EngineConfig::default()
+        };
+        assert!(run_engine(&r, &data, &GraphRegularizer::None, g0.clone(), &bad_export).is_err());
+        let wrong_r = Csr::zeros(3, 3);
+        assert!(run_engine(&wrong_r, &data, &GraphRegularizer::None, g0.clone(), &cfg).is_err());
+        // The dense reference enforces the same contracts.
+        let wrong_r_dense = Mat::zeros(3, 3);
+        assert!(run_engine_dense_reference(
+            &wrong_r_dense,
+            &data,
+            &GraphRegularizer::None,
+            g0,
+            &cfg
+        )
+        .is_err());
     }
 }

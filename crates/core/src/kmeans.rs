@@ -35,10 +35,30 @@ pub fn kmeans(data: &Mat, k: usize, seed: u64, max_iter: usize) -> KmeansResult 
     assert!(n > 0, "kmeans on empty data");
     assert!(k > 0, "kmeans with k = 0");
     let k = k.min(n);
-    let d = data.cols();
     let mut rng = StdRng::seed_from_u64(seed);
+    let centroids = plus_plus_init(data, k, &mut rng);
+    kmeans_seeded(data, centroids, max_iter)
+}
 
-    let mut centroids = plus_plus_init(data, k, &mut rng);
+/// Lloyd's algorithm from *given* initial centroids (one per row).
+///
+/// The warm-refit reseed path uses this to track drift: seeding from a
+/// previous model's cluster centroids keeps cluster indices aligned with
+/// that model (no label permutation to solve) while the centroids move
+/// to follow the current data.
+///
+/// # Panics
+/// Panics if `data` has no rows, `init` has no rows, or the widths
+/// differ.
+pub fn kmeans_seeded(data: &Mat, init: Mat, max_iter: usize) -> KmeansResult {
+    let n = data.rows();
+    assert!(n > 0, "kmeans on empty data");
+    let k = init.rows();
+    assert!(k > 0, "kmeans with no initial centroids");
+    assert_eq!(init.cols(), data.cols(), "centroid width mismatch");
+    let d = data.cols();
+
+    let mut centroids = init;
     let mut labels = vec![0usize; n];
     let mut inertia = f64::INFINITY;
     let mut iterations = 0;
@@ -195,6 +215,20 @@ mod tests {
         let a = kmeans(&data, 3, 7, 100);
         let b = kmeans(&data, 3, 7, 100);
         assert_eq!(a.labels, b.labels);
+    }
+
+    #[test]
+    fn seeded_lloyd_keeps_cluster_alignment() {
+        let (data, truth) = blobs(20, 9);
+        // Initial centroids near (but not at) the true centres, in a
+        // fixed order — the labels must come out in that same order.
+        let init = Mat::from_rows(&[vec![0.5, -0.5], vec![9.0, 1.0], vec![1.0, 9.5]]).unwrap();
+        let res = kmeans_seeded(&data, init, 50);
+        assert_eq!(res.labels, truth, "cluster indices must stay aligned");
+        assert!(res.inertia.is_finite());
+        // Degenerate seeds still terminate.
+        let res2 = kmeans_seeded(&data, Mat::zeros(2, 2), 10);
+        assert_eq!(res2.labels.len(), data.rows());
     }
 
     #[test]

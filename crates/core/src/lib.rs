@@ -12,9 +12,11 @@
 //! * [`kmeans`] — k-means++ used to initialise `G` (Algorithm 2's input);
 //! * [`intra`] — stage 1 & 2: per-type pNN graphs, SPG subspace affinities
 //!   and the heterogeneous Laplacian ensemble `L = α·L_S + L_E` (Eq. 12);
-//! * [`engine`] — the multiplicative-update optimiser of Eq. (15)
-//!   (Algorithm 2): closed-form `S`, multiplicative `G` with row-ℓ1
-//!   normalisation, IRLS `E_R` with the L2,1 penalty;
+//! * [`engine`] — the **sparse-first** multiplicative-update optimiser
+//!   of Eq. (15) (Algorithm 2): closed-form `S`, multiplicative `G`
+//!   with row-ℓ1 normalisation, implicit IRLS `E_R` with the L2,1
+//!   penalty — `O(nnz·c + n·c²)` per iteration on a CSR `R`, with the
+//!   retired dense loop kept as a test reference;
 //! * [`rhchme`] — the end-to-end RHCHME estimator;
 //! * [`baselines`] — SRC, SNMTF, RMC and DRCC (DR-T/DR-C/DR-TC), the
 //!   comparison suite of Sec. IV-B;

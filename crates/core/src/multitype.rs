@@ -171,6 +171,10 @@ impl MultiTypeData {
 
     /// Assemble the dense symmetric inter-type matrix `R` (zero diagonal
     /// blocks, `R_lk = R_klᵀ`) — the decomposition target of Eq. (15).
+    ///
+    /// Kept for the `*_dense_reference` engine path and small problems;
+    /// the default fit path uses [`Self::assemble_r_csr`], which never
+    /// materialises the `n x n` buffer.
     pub fn assemble_r(&self) -> Mat {
         let n = self.total_objects();
         let mut r = Mat::zeros(n, n);
@@ -182,6 +186,52 @@ impl MultiTypeData {
             }
         }
         r
+    }
+
+    /// [`Self::assemble_r`] as CSR, `O(nnz)` storage: relations are
+    /// placed block-wise (and transposed for the lower triangle) without
+    /// ever densifying. This is what the sparse-first engine consumes —
+    /// the stored entries are exactly the dense assembly's nonzeros, in
+    /// the same row-major order, so the two assemblies are bit-equal.
+    pub fn assemble_r_csr(&self) -> Csr {
+        let n = self.total_objects();
+        let k_types = self.num_types();
+        // Per (row-type, col-type) block: the relation, transposed when
+        // it is stored the other way. Transposes cost O(nnz) once.
+        let mut blocks: HashMap<(usize, usize), Csr> = HashMap::new();
+        for (&(k, l), m) in &self.relations {
+            blocks.insert((l, k), m.transpose());
+        }
+        let nnz = 2 * self.relations.values().map(Csr::nnz).sum::<usize>();
+        let mut b = mtrl_sparse::CsrBuilder::with_capacity(n, n, nnz);
+        for k in 0..k_types {
+            for i in 0..self.sizes[k] {
+                // Partner blocks in ascending type order means strictly
+                // ascending column offsets within the row.
+                for l in 0..k_types {
+                    if l == k {
+                        continue;
+                    }
+                    let co = self.spec.offset(l);
+                    let (cols, vals) = if k < l {
+                        match self.relations.get(&(k, l)) {
+                            Some(rel) => rel.row(i),
+                            None => continue,
+                        }
+                    } else {
+                        match blocks.get(&(k, l)) {
+                            Some(t) => t.row(i),
+                            None => continue,
+                        }
+                    };
+                    for (&j, &v) in cols.iter().zip(vals) {
+                        b.push(co + j, v);
+                    }
+                }
+                b.finish_row();
+            }
+        }
+        b.build()
     }
 
     /// Dense feature view of type `k`: the horizontal concatenation of all
@@ -294,6 +344,25 @@ mod tests {
                 assert_eq!(r[(i, 12 + j)], dt[(i, j)]);
             }
         }
+    }
+
+    #[test]
+    fn assemble_r_csr_bit_equal_to_dense_assembly() {
+        let c = tiny_corpus();
+        let d = MultiTypeData::from_corpus(&c, 10).unwrap();
+        let sparse = d.assemble_r_csr();
+        let dense = d.assemble_r();
+        assert_eq!(sparse.shape(), (62, 62));
+        // Same nonzeros, same order, bit-equal values.
+        assert_eq!(sparse, Csr::from_dense(&dense, 0.0));
+        assert!(sparse.is_symmetric(0.0));
+        // Two-type datasets assemble too.
+        let r = small_relation(5, 7, 9);
+        let two = MultiTypeData::new(vec![5, 7], vec![2, 3], vec![(0, 1, r)]).unwrap();
+        assert_eq!(
+            two.assemble_r_csr(),
+            Csr::from_dense(&two.assemble_r(), 0.0)
+        );
     }
 
     #[test]

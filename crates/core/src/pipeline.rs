@@ -302,8 +302,9 @@ fn to_output(method: Method, res: crate::rhchme::RhchmeResult, start: Instant) -
 pub struct Artifacts {
     /// Assembled multi-type dataset.
     pub data: MultiTypeData,
-    /// Dense symmetric `R`.
-    pub r: Mat,
+    /// Symmetric block `R` in CSR form (never densified; the engine is
+    /// sparse-first).
+    pub r: mtrl_sparse::Csr,
     /// Per-type feature views.
     pub features: Vec<Mat>,
     /// k-means initial membership.
@@ -321,7 +322,7 @@ impl Artifacts {
         let data = MultiTypeData::from_corpus(corpus, params.feature_cluster_divisor)?;
         let features = data.all_features();
         let g0 = init_membership(&data, &features, params.seed);
-        let r = data.assemble_r();
+        let r = data.assemble_r_csr();
         let l_pnn = pnn_laplacians(
             &features,
             params.p,

@@ -115,6 +115,9 @@ pub struct RhchmeResult {
     pub label_trace: Vec<Vec<usize>>,
     /// Row l2 norms of the final error matrix `E_R`.
     pub error_row_norms: Vec<f64>,
+    /// The shrunk-active rows of the final `E_R`, stored row-sparsely
+    /// (see [`crate::engine::EngineResult::error_rows`]).
+    pub error_rows: mtrl_sparse::RowSparse,
     /// Multiplicative-update iterations performed.
     pub iterations: usize,
     /// Whether the tolerance was reached before `max_iter`.
@@ -217,8 +220,10 @@ impl Rhchme {
         hetero_laplacian(&l_s, &l_e, cfg.alpha)
     }
 
-    /// Shared optimisation tail: assemble `R`, run Algorithm 2 with the
-    /// given regulariser, initial membership and iteration budget.
+    /// Shared optimisation tail: assemble `R` (sparse — the engine is
+    /// sparse-first and no `n x n` dense matrix is formed), run
+    /// Algorithm 2 with the given regulariser, initial membership and
+    /// iteration budget.
     fn run_with(
         &self,
         data: &MultiTypeData,
@@ -227,7 +232,7 @@ impl Rhchme {
         max_iter: usize,
     ) -> Result<RhchmeResult> {
         let cfg = &self.config;
-        let r = data.assemble_r();
+        let r = data.assemble_r_csr();
         let engine_cfg = EngineConfig {
             lambda: cfg.lambda,
             beta: cfg.beta,
@@ -300,6 +305,7 @@ pub(crate) fn package_result(data: &MultiTypeData, out: EngineResult) -> RhchmeR
         objective_trace: out.objective_trace,
         label_trace: out.label_trace,
         error_row_norms: out.error_row_norms,
+        error_rows: out.error_rows,
         iterations: out.iterations,
         converged: out.converged,
     }

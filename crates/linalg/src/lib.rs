@@ -12,6 +12,8 @@
 //! * blocked and multi-threaded matrix products ([`ops`]);
 //! * the scoped-thread worker pool shared by every parallel kernel in
 //!   the workspace ([`par`]; `MTRL_NUM_THREADS` overrides the count);
+//! * diagonal-plus-low-rank row kernels backing the sparse-first NMTF
+//!   engine's implicit `R − E_R` representation ([`lowrank`]);
 //! * norms used by the paper: Frobenius, `l1`, `l2,1` ([`norms`]);
 //! * Gauss–Jordan inversion, Cholesky, LU solve ([`solve`]);
 //! * a Jacobi symmetric eigensolver ([`eigen`]) for spectral utilities;
@@ -29,6 +31,7 @@
 pub mod block;
 pub mod eigen;
 pub mod error;
+pub mod lowrank;
 pub mod mat;
 pub mod norms;
 pub mod ops;

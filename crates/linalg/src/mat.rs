@@ -11,8 +11,40 @@ use crate::Result;
 use std::fmt;
 use std::ops::{Index, IndexMut};
 
+/// Process-wide high-water mark of the largest single dense allocation.
+///
+/// Every [`Mat`] constructor records `rows * cols` into an atomic
+/// maximum (a handful of nanoseconds next to zeroing the buffer). Tests
+/// use it as an *allocation-shape oracle*: the sparse-first engine
+/// contract — no `n x n` dense temporary on the fit path — is asserted
+/// by resetting the peak, running a fit, and checking the peak stayed
+/// at `O(n·c)` (see `tests/integration_engine_alloc.rs` — the oracle is
+/// process-global, so the asserting test lives alone in its own
+/// binary).
+pub mod alloc_peak {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    static PEAK: AtomicUsize = AtomicUsize::new(0);
+
+    /// Reset the high-water mark to zero.
+    pub fn reset() {
+        PEAK.store(0, Ordering::SeqCst);
+    }
+
+    /// The largest `rows * cols` of any dense matrix allocated since the
+    /// last [`reset`] (on any thread).
+    pub fn peak_elems() -> usize {
+        PEAK.load(Ordering::SeqCst)
+    }
+
+    #[inline]
+    pub(crate) fn record(elems: usize) {
+        PEAK.fetch_max(elems, Ordering::Relaxed);
+    }
+}
+
 /// Dense row-major matrix of `f64`.
-#[derive(Clone, PartialEq)]
+#[derive(PartialEq)]
 pub struct Mat {
     rows: usize,
     cols: usize,
@@ -28,6 +60,7 @@ impl Mat {
         let len = rows
             .checked_mul(cols)
             .expect("matrix dimensions overflow usize");
+        alloc_peak::record(len);
         Mat {
             rows,
             cols,
@@ -77,6 +110,7 @@ impl Mat {
                 data.len()
             )));
         }
+        alloc_peak::record(data.len());
         Ok(Mat { rows, cols, data })
     }
 
@@ -100,6 +134,7 @@ impl Mat {
         for r in rows {
             data.extend_from_slice(r);
         }
+        alloc_peak::record(data.len());
         Ok(Mat {
             rows: rows.len(),
             cols,
@@ -242,6 +277,7 @@ impl Mat {
 
     /// Apply `f` to every entry, returning a new matrix.
     pub fn map(&self, f: impl Fn(f64) -> f64) -> Mat {
+        alloc_peak::record(self.data.len());
         Mat {
             rows: self.rows,
             cols: self.cols,
@@ -280,6 +316,7 @@ impl Mat {
             .zip(&other.data)
             .map(|(a, b)| a + b)
             .collect();
+        alloc_peak::record(self.data.len());
         Ok(Mat {
             rows: self.rows,
             cols: self.cols,
@@ -299,6 +336,7 @@ impl Mat {
             .zip(&other.data)
             .map(|(a, b)| a - b)
             .collect();
+        alloc_peak::record(self.data.len());
         Ok(Mat {
             rows: self.rows,
             cols: self.cols,
@@ -330,6 +368,7 @@ impl Mat {
             .zip(&other.data)
             .map(|(a, b)| a * b)
             .collect();
+        alloc_peak::record(self.data.len());
         Ok(Mat {
             rows: self.rows,
             cols: self.cols,
@@ -494,6 +533,7 @@ impl Mat {
         let mut data = Vec::with_capacity(self.data.len() + other.data.len());
         data.extend_from_slice(&self.data);
         data.extend_from_slice(&other.data);
+        alloc_peak::record(data.len());
         Ok(Mat {
             rows: self.rows + other.rows,
             cols: self.cols,
@@ -525,6 +565,19 @@ impl Mat {
             });
         }
         Ok(())
+    }
+}
+
+impl Clone for Mat {
+    // Manual so the [`alloc_peak`] oracle sees clones of large matrices
+    // too (a derived impl would bypass the constructors).
+    fn clone(&self) -> Self {
+        alloc_peak::record(self.data.len());
+        Mat {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.clone(),
+        }
     }
 }
 

@@ -8,18 +8,23 @@
 //! analysis in Section III-F depends on `z = nnz(R)`, so the harness needs
 //! a real sparse representation to honour it.
 //!
-//! Three types:
+//! Four types:
 //! * [`Coo`] — a triplet builder (push `(i, j, v)` in any order);
 //! * [`Csr`] — compressed sparse row storage with the products the engine
 //!   needs (parallel CSR×dense, quadratic forms, linear combinations,
 //!   positive/negative splits, `spmv`, transpose, row reductions);
 //! * [`SparseBlockDiag`] — the block-diagonal Laplacian operator of
-//!   Section I-A, kept sparse through the whole fit loop.
+//!   Section I-A, kept sparse through the whole fit loop;
+//! * [`RowSparse`] — row-sparse storage (sparse in rows, dense within a
+//!   row) for the ℓ2,1-structured error matrix `E_R` of Sec. III-C:
+//!   only the shrunk-active rows are stored.
 
 pub mod block;
 pub mod coo;
 pub mod csr;
+pub mod rowsparse;
 
 pub use block::SparseBlockDiag;
 pub use coo::Coo;
 pub use csr::{Csr, CsrBuilder};
+pub use rowsparse::RowSparse;

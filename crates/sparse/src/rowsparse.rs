@@ -1,0 +1,191 @@
+//! Row-sparse matrix: sparse in *rows*, dense within a stored row.
+//!
+//! The shape the paper's ℓ2,1-regularised error matrix `E_R` takes
+//! (Sec. III-C/D): the row-wise shrinkage of Eq. 27 drives most rows to
+//! (near-)zero norm and leaves a small set of *active* rows — the
+//! corrupted samples — with large dense rows `f_i·q_i`. Storing only the
+//! active rows keeps the representation at `O(active · n)` instead of
+//! `n²`, and row-level operations (norms, products, densification) never
+//! visit the implicit zero rows.
+
+use mtrl_linalg::Mat;
+
+/// Matrix stored as a sorted list of `(row index, dense row)` pairs;
+/// every unlisted row is implicitly zero.
+///
+/// Invariants (enforced by [`RowSparse::push_row`]):
+/// * row indices are strictly increasing and `< rows`;
+/// * every stored row has exactly `cols` entries.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct RowSparse {
+    rows: usize,
+    cols: usize,
+    entries: Vec<(usize, Vec<f64>)>,
+}
+
+impl RowSparse {
+    /// An all-zero `rows x cols` matrix with no stored rows.
+    pub fn new(rows: usize, cols: usize) -> Self {
+        RowSparse {
+            rows,
+            cols,
+            entries: Vec::new(),
+        }
+    }
+
+    /// Append an active row. Rows must arrive in strictly increasing
+    /// index order (the natural order for the engine's row sweep).
+    ///
+    /// # Panics
+    /// Panics if `i` is out of range, not increasing, or `values` has
+    /// the wrong length.
+    pub fn push_row(&mut self, i: usize, values: Vec<f64>) {
+        assert!(i < self.rows, "row index {i} out of range");
+        assert_eq!(values.len(), self.cols, "row {i}: wrong width");
+        if let Some(&(last, _)) = self.entries.last() {
+            assert!(last < i, "rows must be pushed in increasing order");
+        }
+        self.entries.push((i, values));
+    }
+
+    /// `(rows, cols)`.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Number of stored (active) rows.
+    pub fn num_active(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when no row is stored (the matrix is exactly zero).
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The stored row `i`, or `None` when row `i` is implicitly zero —
+    /// `O(log active)` by binary search.
+    pub fn row(&self, i: usize) -> Option<&[f64]> {
+        self.entries
+            .binary_search_by_key(&i, |&(r, _)| r)
+            .ok()
+            .map(|pos| self.entries[pos].1.as_slice())
+    }
+
+    /// Iterate over `(row index, row)` pairs in increasing row order.
+    pub fn active_iter(&self) -> impl Iterator<Item = (usize, &[f64])> {
+        self.entries.iter().map(|(i, v)| (*i, v.as_slice()))
+    }
+
+    /// ℓ2 norm of every row (zero for implicit rows) — the paper's
+    /// corruption indicator `‖(E_R)_i‖₂`.
+    pub fn row_norms(&self) -> Vec<f64> {
+        let mut out = vec![0.0; self.rows];
+        for (i, row) in self.active_iter() {
+            out[i] = row.iter().map(|v| v * v).sum::<f64>().sqrt();
+        }
+        out
+    }
+
+    /// Squared Frobenius norm — only active rows contribute.
+    pub fn frobenius_sq(&self) -> f64 {
+        self.entries
+            .iter()
+            .map(|(_, row)| row.iter().map(|v| v * v).sum::<f64>())
+            .sum()
+    }
+
+    /// Product with a dense matrix, `O(active · cols · b.cols())`: only
+    /// active rows produce nonzero output rows.
+    ///
+    /// # Panics
+    /// Panics if `b.rows() != cols`.
+    pub fn mul_dense(&self, b: &Mat) -> Mat {
+        assert_eq!(b.rows(), self.cols, "mul_dense: dimension mismatch");
+        let mut out = Mat::zeros(self.rows, b.cols());
+        for (i, row) in self.active_iter() {
+            let orow = out.row_mut(i);
+            for (k, &v) in row.iter().enumerate() {
+                if v == 0.0 {
+                    continue;
+                }
+                for (o, &bv) in orow.iter_mut().zip(b.row(k)) {
+                    *o += v * bv;
+                }
+            }
+        }
+        out
+    }
+
+    /// Materialise as dense (tests and small matrices only).
+    pub fn to_dense(&self) -> Mat {
+        let mut m = Mat::zeros(self.rows, self.cols);
+        for (i, row) in self.active_iter() {
+            m.row_mut(i).copy_from_slice(row);
+        }
+        m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mtrl_linalg::ops::matmul;
+    use mtrl_linalg::random::rand_uniform;
+
+    fn sample() -> RowSparse {
+        let mut e = RowSparse::new(6, 4);
+        e.push_row(1, vec![1.0, -2.0, 0.0, 0.5]);
+        e.push_row(4, vec![0.0, 3.0, 1.0, 0.0]);
+        e
+    }
+
+    #[test]
+    fn shape_and_lookup() {
+        let e = sample();
+        assert_eq!(e.shape(), (6, 4));
+        assert_eq!(e.num_active(), 2);
+        assert!(!e.is_empty());
+        assert_eq!(e.row(1).unwrap()[1], -2.0);
+        assert!(e.row(0).is_none());
+        assert!(e.row(5).is_none());
+    }
+
+    #[test]
+    fn norms_and_frobenius() {
+        let e = sample();
+        let norms = e.row_norms();
+        assert_eq!(norms.len(), 6);
+        assert_eq!(norms[0], 0.0);
+        assert!((norms[1] - (1.0f64 + 4.0 + 0.25).sqrt()).abs() < 1e-12);
+        assert!((e.frobenius_sq() - (5.25 + 10.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dense_roundtrip_and_product() {
+        let e = sample();
+        let d = e.to_dense();
+        assert_eq!(d.shape(), (6, 4));
+        assert_eq!(d[(4, 1)], 3.0);
+        assert_eq!(d[(3, 2)], 0.0);
+        let b = rand_uniform(4, 3, -1.0, 1.0, 7);
+        let fast = e.mul_dense(&b);
+        let slow = matmul(&d, &b).unwrap();
+        assert!(fast.approx_eq(&slow, 1e-12));
+    }
+
+    #[test]
+    #[should_panic(expected = "increasing order")]
+    fn out_of_order_rows_panic() {
+        let mut e = RowSparse::new(5, 2);
+        e.push_row(3, vec![1.0, 2.0]);
+        e.push_row(3, vec![1.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "wrong width")]
+    fn wrong_width_panics() {
+        let mut e = RowSparse::new(5, 2);
+        e.push_row(0, vec![1.0]);
+    }
+}

@@ -53,6 +53,7 @@
 //!     drift_cooldown: 0,
 //!     warm_iters: 5,
 //!     refresh_subspace: false,
+//!     reseed_confidence: None,
 //! }).unwrap();
 //! let first = session.push_batch(&batches[0]).unwrap();
 //! assert_eq!(first.labels.len(), 4);
@@ -69,7 +70,7 @@ pub mod warm;
 pub use dynamic::{DynamicGraph, DynamicGraphConfig, InsertReport};
 pub use error::StreamError;
 pub use session::{PushReport, RefitReport, RefitTrigger, RefreshPolicy, StreamSession};
-pub use warm::{grown_survivors, warm_membership, SurvivorMap};
+pub use warm::{grown_survivors, warm_membership, warm_membership_opts, SurvivorMap, WarmOptions};
 
 /// Result alias for this crate.
 pub type Result<T> = std::result::Result<T, StreamError>;

@@ -32,7 +32,7 @@
 
 use crate::dynamic::{DynamicGraph, DynamicGraphConfig};
 use crate::error::StreamError;
-use crate::warm::{grown_survivors, warm_membership};
+use crate::warm::{grown_survivors, warm_membership_opts, WarmOptions};
 use mtrl_datagen::stream::{append_batch, StreamBatch};
 use mtrl_datagen::MultiTypeCorpus;
 use mtrl_graph::{laplacian_csr, pnn_graph};
@@ -72,6 +72,13 @@ pub struct RefreshPolicy {
     /// against the pNN member alone, which the incremental graphs
     /// provide for free.
     pub refresh_subspace: bool,
+    /// Partial-reseed floor for warm refits: rows whose fold-in
+    /// max-posterior falls below this value are reseeded from
+    /// drift-tracking k-means (Lloyd from the model's own centroids)
+    /// instead of inheriting the stale basin — see
+    /// [`crate::warm::WarmOptions::reseed_confidence`]. `None` (the
+    /// default) keeps the plain warm path.
+    pub reseed_confidence: Option<f64>,
 }
 
 impl Default for RefreshPolicy {
@@ -82,6 +89,7 @@ impl Default for RefreshPolicy {
             drift_cooldown: 0,
             warm_iters: 15,
             refresh_subspace: false,
+            reseed_confidence: None,
         }
     }
 }
@@ -335,7 +343,15 @@ impl StreamSession {
         };
 
         let survivors = grown_survivors(&self.model().sizes, data.sizes());
-        let g0 = warm_membership(&data, &self.assigner, &survivors, 0.1)?;
+        let g0 = warm_membership_opts(
+            &data,
+            &self.assigner,
+            &survivors,
+            &WarmOptions {
+                reseed_confidence: self.policy.reseed_confidence,
+                ..WarmOptions::default()
+            },
+        )?;
         let result = self.rhchme.fit_warm(
             &data,
             WarmStart {
@@ -461,6 +477,7 @@ mod tests {
                 drift_cooldown: 0,
                 warm_iters: 8,
                 refresh_subspace: false,
+                reseed_confidence: None,
             },
         )
         .unwrap();
@@ -499,6 +516,7 @@ mod tests {
                 drift_cooldown: 0,
                 warm_iters: 5,
                 refresh_subspace: false,
+                reseed_confidence: None,
             },
         )
         .unwrap();

@@ -44,13 +44,40 @@ pub fn grown_survivors(model_sizes: &[usize], new_sizes: &[usize]) -> SurvivorMa
         .collect()
 }
 
+/// Knobs for [`warm_membership_opts`].
+#[derive(Debug, Clone)]
+pub struct WarmOptions {
+    /// Uniform mixing weight in `[0, 1)` applied to every row (`0.1` is
+    /// a good default; `labels_to_membership` uses a comparable 0.2 for
+    /// cold k-means seeds).
+    pub smoothing: f64,
+    /// Partial-reseed confidence floor: rows whose max-posterior under
+    /// the previous model falls below this value do **not** inherit the
+    /// stale basin — they are reseeded from a k-means pass over their
+    /// type's feature rows, Lloyd-iterated from the *model's own
+    /// centroids* so cluster indices stay aligned while the centroids
+    /// track the drifted data ([`rhchme::kmeans::kmeans_seeded`]).
+    /// `None` disables reseeding (the pre-reseed warm path).
+    pub reseed_confidence: Option<f64>,
+    /// Lloyd iteration budget of the reseed k-means pass.
+    pub reseed_kmeans_iters: usize,
+}
+
+impl Default for WarmOptions {
+    fn default() -> Self {
+        WarmOptions {
+            smoothing: 0.1,
+            reseed_confidence: None,
+            reseed_kmeans_iters: 20,
+        }
+    }
+}
+
 /// Build the warm initial membership for `data` from the previous
 /// model's live [`Assigner`] (borrowed, not rebuilt — the streaming
 /// session passes the same assigner it serves fold-ins with).
 ///
-/// `smoothing` is the uniform mixing weight in `[0, 1)` applied to every
-/// row (`0.1` is a good default; `labels_to_membership` uses a
-/// comparable 0.2 for cold k-means seeds).
+/// Equivalent to [`warm_membership_opts`] with reseeding disabled.
 ///
 /// # Errors
 /// Returns [`StreamError::Invalid`] when the model and data disagree on
@@ -62,6 +89,41 @@ pub fn warm_membership(
     survivors: &SurvivorMap,
     smoothing: f64,
 ) -> Result<Mat, StreamError> {
+    warm_membership_opts(
+        data,
+        assigner,
+        survivors,
+        &WarmOptions {
+            smoothing,
+            ..WarmOptions::default()
+        },
+    )
+}
+
+/// [`warm_membership`] with the full option set, including the
+/// partial-reseed policy for low-confidence rows.
+///
+/// With `reseed_confidence` set, a row (surviving *or* new) whose
+/// max-posterior falls below the floor is re-initialised from
+/// drift-tracking k-means instead of the previous basin: the type's
+/// feature rows are Lloyd-clustered starting from the model's
+/// (denormalised) centroids, and the low-confidence rows take their
+/// refreshed assignment. High-confidence rows keep the plain warm
+/// behaviour, so the refit stays warm where the model is still right
+/// and escapes the stale basin exactly where it is not. Types whose
+/// feature-view width no longer matches the model (their views grow
+/// with the streaming type) skip reseeding — their rows copy from the
+/// previous `G` as before.
+///
+/// # Errors
+/// Same contract as [`warm_membership`].
+pub fn warm_membership_opts(
+    data: &MultiTypeData,
+    assigner: &Assigner,
+    survivors: &SurvivorMap,
+    opts: &WarmOptions,
+) -> Result<Mat, StreamError> {
+    let smoothing = opts.smoothing;
     let model = assigner.model();
     let k = data.num_types();
     if model.num_types() != k || survivors.len() != k {
@@ -117,6 +179,7 @@ pub fn warm_membership(
         let row_off = data.spec().offset(t);
         let col_off = data.cluster_spec().offset(t);
         let uniform = smoothing / ck as f64;
+        let mut rows: Vec<Vec<f64>> = Vec::with_capacity(type_survivors.len());
         for (i, origin) in type_survivors.iter().enumerate() {
             let row = match *origin {
                 Some(old) => {
@@ -133,6 +196,45 @@ pub fn warm_membership(
                     assigner.assign(t, &v.row(i)?)?
                 }
             };
+            rows.push(row);
+        }
+        // Partial reseed: rows whose max-posterior sags below the floor
+        // do not inherit the stale basin. Both survivor rows (ℓ1
+        // normalised by Eq. 22) and fold-in posteriors sum to 1, so the
+        // row maximum is the confidence in either case. Reseeding needs
+        // the type's feature view at the model's width — types whose
+        // view grew with the stream keep the plain warm rows.
+        if let Some(floor) = opts.reseed_confidence {
+            let low: Vec<usize> = rows
+                .iter()
+                .enumerate()
+                .filter(|(_, r)| r.iter().cloned().fold(0.0, f64::max) < floor)
+                .map(|(i, _)| i)
+                .collect();
+            if !low.is_empty() {
+                let feats = data.features(t);
+                if feats.cols() == model.feature_dims[t] {
+                    // Denormalised model centroids seed Lloyd so cluster
+                    // indices stay aligned with the model while the
+                    // centroids move to track the drifted data.
+                    let mut init = model.centroids[t].clone();
+                    for (c, &norm) in model.centroid_norms[t].iter().enumerate() {
+                        if norm > 0.0 {
+                            for v in init.row_mut(c) {
+                                *v *= norm;
+                            }
+                        }
+                    }
+                    let km = rhchme::kmeans::kmeans_seeded(&feats, init, opts.reseed_kmeans_iters);
+                    for &i in &low {
+                        let mut row = vec![0.0; ck];
+                        row[km.labels[i]] = 1.0;
+                        rows[i] = row;
+                    }
+                }
+            }
+        }
+        for (i, row) in rows.iter().enumerate() {
             let dst = g0.row_mut(row_off + i);
             for (c, &v) in row.iter().enumerate() {
                 dst[col_off + c] = (1.0 - smoothing) * v + uniform;
@@ -292,6 +394,64 @@ mod tests {
                 assert_eq!(sv.values, expect.values, "type {t} row {i}");
             }
         }
+    }
+
+    #[test]
+    fn partial_reseed_floor_semantics() {
+        let (corpus, rhchme, assigner) = fitted();
+        let model = assigner.model().clone();
+        let data =
+            MultiTypeData::from_corpus(&corpus, rhchme.config().feature_cluster_divisor).unwrap();
+        let survivors = grown_survivors(&model.sizes, data.sizes());
+        // Floor 0.0: no row can fall below it — bit-identical to the
+        // plain warm path.
+        let plain = warm_membership(&data, &assigner, &survivors, 0.1).unwrap();
+        let zero = warm_membership_opts(
+            &data,
+            &assigner,
+            &survivors,
+            &WarmOptions {
+                smoothing: 0.1,
+                reseed_confidence: Some(0.0),
+                ..WarmOptions::default()
+            },
+        )
+        .unwrap();
+        assert!(plain == zero, "floor 0 must not reseed anything");
+        // Floor above 1: every row reseeds from centroid-seeded k-means.
+        // Rows stay valid in-block distributions, and because Lloyd is
+        // seeded from the model's own centroids the reseeded labels stay
+        // aligned with the fitted clustering on this clean corpus.
+        let all = warm_membership_opts(
+            &data,
+            &assigner,
+            &survivors,
+            &WarmOptions {
+                smoothing: 0.1,
+                reseed_confidence: Some(1.1),
+                ..WarmOptions::default()
+            },
+        )
+        .unwrap();
+        let ro = data.spec().offset(0);
+        let co = data.cluster_spec().offset(0);
+        let ck = data.cluster_counts()[0];
+        let mut agree = 0;
+        for i in 0..data.sizes()[0] {
+            let row = &all.row(ro + i)[co..co + ck];
+            let sum: f64 = row.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-9, "doc row {i} sums to {sum}");
+            let reseeded = mtrl_linalg::vecops::argmax(row).unwrap();
+            let previous = mtrl_linalg::vecops::argmax(model.g_blocks[0].row(i)).unwrap();
+            if reseeded == previous {
+                agree += 1;
+            }
+        }
+        assert!(
+            agree * 2 > data.sizes()[0],
+            "reseeded labels lost cluster alignment: {agree}/{}",
+            data.sizes()[0]
+        );
     }
 
     #[test]

@@ -46,7 +46,7 @@ fn foldin(assigner: &Assigner, batch: &StreamBatch, num_terms: usize) -> (Vec<us
 fn main() {
     // A 5-class corpus; batches 3+ are drawn with the anchor windows
     // rotated by 40% of a class block.
-    let (initial, batches) = generate_stream(&StreamConfig {
+    let stream_cfg = StreamConfig {
         base: CorpusConfig {
             docs_per_class: vec![12; 5],
             vocab_size: 200,
@@ -64,7 +64,11 @@ fn main() {
         docs_per_batch: 20,
         drift_after: Some(3),
         drift_shift: 0.4,
-    });
+    };
+    let (initial, batches) = generate_stream(&stream_cfg);
+    // The reseed comparison at the end replays the same stream from the
+    // same starting corpus.
+    let initial_reseed = initial.clone();
     let num_terms = initial.num_terms();
     println!(
         "stream: {} training docs, {} batches x {} docs, drift from batch 3",
@@ -90,6 +94,7 @@ fn main() {
             drift_cooldown: 0,
             warm_iters: cold_budget / 2,
             refresh_subspace: true,
+            reseed_confidence: None,
         },
     )
     .expect("initial fit");
@@ -196,4 +201,37 @@ fn main() {
         "warm refresh is within 2 F-points of the cold refit at <= half the \
          iterations — OK"
     );
+
+    // Partial reseed (RefreshPolicy::reseed_confidence): replay the same
+    // stream with low-confidence rows reseeded from drift-tracking
+    // k-means (Lloyd from the previous model's centroids) instead of
+    // inheriting the stale basin, and check the policy is no worse than
+    // the plain warm path on this drift scenario.
+    let mut reseed_session = StreamSession::new(
+        initial_reseed,
+        rhchme.clone(),
+        RefreshPolicy {
+            every_batches: None,
+            min_confidence: Some(0.38),
+            drift_cooldown: 0,
+            warm_iters: cold_budget / 2,
+            refresh_subspace: true,
+            reseed_confidence: Some(0.38),
+        },
+    )
+    .expect("reseed session fit");
+    for batch in &batches {
+        reseed_session.push_batch(batch).expect("reseed push");
+    }
+    let f_reseed = score(&Assigner::new(reseed_session.model().clone()).expect("reseed model"));
+    println!(
+        "partial-reseed warm refresh: post-drift fold-in F {f_reseed:.3} \
+         (plain warm path {f_warm:.3})"
+    );
+    assert!(
+        f_reseed >= f_warm - 0.02,
+        "partial reseed ({f_reseed:.3}) must be no worse than the plain warm \
+         path ({f_warm:.3}) on the drift scenario"
+    );
+    println!("partial reseed is no worse than the plain warm path — OK");
 }

@@ -167,6 +167,7 @@ fn stream_session_end_to_end_with_engine() {
             drift_cooldown: 0,
             warm_iters: 10,
             refresh_subspace: false,
+            reseed_confidence: None,
         },
     )
     .unwrap();
