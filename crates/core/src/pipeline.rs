@@ -156,6 +156,17 @@ pub struct MethodOutput {
     pub model: Option<crate::FittedModel>,
 }
 
+impl MethodOutput {
+    /// Score the document labels against a ground truth — the report
+    /// hook the evaluation layer (`mtrl-eval`) aggregates per scenario.
+    ///
+    /// # Panics
+    /// Panics if `truth` and the document labels differ in length.
+    pub fn quality(&self, truth: &[usize]) -> mtrl_metrics::QualityScores {
+        mtrl_metrics::quality_scores(truth, &self.doc_labels)
+    }
+}
+
 /// Run one method end to end on a corpus.
 ///
 /// # Errors
@@ -441,8 +452,9 @@ mod tests {
             assert_eq!(out.doc_labels.len(), 16, "{method:?}");
             assert!(!out.objective_trace.is_empty(), "{method:?}");
             assert!(out.elapsed.as_nanos() > 0);
-            let f = mtrl_metrics::fscore(&c.labels, &out.doc_labels);
-            assert!(f > 0.5, "{method:?} fscore {f}");
+            let q = out.quality(&c.labels);
+            assert!(q.fscore > 0.5, "{method:?} fscore {}", q.fscore);
+            assert!(q.nmi >= 0.0 && q.ari.is_finite(), "{method:?}");
         }
     }
 

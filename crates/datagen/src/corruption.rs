@@ -1,0 +1,224 @@
+//! Typed corruption specifications for evaluation scenarios.
+//!
+//! The robustness experiments perturb a corpus along three independent
+//! axes, each previously dialled through ad-hoc `CorpusConfig` edits
+//! scattered across the examples:
+//!
+//! * **feature noise** — more tokens drawn from the shared background
+//!   vocabulary instead of the class anchors (`topic_noise`), degrading
+//!   every document a little;
+//! * **relation corruption** — a fraction of documents replaced by
+//!   uniform random tokens (`corrupt_frac`), destroying some rows
+//!   entirely — the sample-wise regime the paper's `E_R` targets
+//!   (Sec. III-C);
+//! * **drift** — the class anchor windows rotate mid-stream
+//!   ([`crate::stream::StreamConfig::drift_shift`]), so a fitted model
+//!   goes stale — the streaming robustness axis.
+//!
+//! [`CorruptionSpec`] names the axis and its level once, so the
+//! `mtrl-eval` scenario registry, the examples and the tests all derive
+//! their perturbed corpora from the same typed knob and stay
+//! bit-reproducible given `(base config, spec, seed)`.
+
+use crate::corpus::{generate, CorpusConfig, MultiTypeCorpus};
+use serde::Serialize;
+
+/// Which corruption axis a scenario exercises.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum CorruptionKind {
+    /// No corruption: `corrupt_frac` forced to zero.
+    Clean,
+    /// Background-token noise added to every document (`topic_noise`).
+    FeatureNoise,
+    /// Sample-wise destruction of whole documents (`corrupt_frac`).
+    RelationCorruption,
+    /// Anchor-window rotation applied to streamed batches; the base
+    /// corpus itself stays clean (stream scenarios only).
+    Drift,
+}
+
+impl CorruptionKind {
+    /// Stable scenario-key fragment (`clean`, `feature_noise`, …).
+    pub fn key(self) -> &'static str {
+        match self {
+            CorruptionKind::Clean => "clean",
+            CorruptionKind::FeatureNoise => "feature_noise",
+            CorruptionKind::RelationCorruption => "relation_corruption",
+            CorruptionKind::Drift => "drift",
+        }
+    }
+}
+
+/// A corruption axis plus its level.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct CorruptionSpec {
+    /// The corruption axis.
+    pub kind: CorruptionKind,
+    /// Axis-specific level in `[0, 1]`: extra `topic_noise` for
+    /// [`CorruptionKind::FeatureNoise`], `corrupt_frac` for
+    /// [`CorruptionKind::RelationCorruption`], anchor-window shift
+    /// fraction for [`CorruptionKind::Drift`]; ignored for
+    /// [`CorruptionKind::Clean`].
+    pub level: f64,
+}
+
+impl CorruptionSpec {
+    /// No corruption.
+    pub fn clean() -> Self {
+        CorruptionSpec {
+            kind: CorruptionKind::Clean,
+            level: 0.0,
+        }
+    }
+
+    /// Extra background-token probability added to the base
+    /// `topic_noise` (capped at 0.95).
+    ///
+    /// # Panics
+    /// Panics if `level` is outside `[0, 1]`.
+    pub fn feature_noise(level: f64) -> Self {
+        Self::checked(CorruptionKind::FeatureNoise, level)
+    }
+
+    /// Fraction of documents replaced by uniform random tokens.
+    ///
+    /// # Panics
+    /// Panics if `level` is outside `[0, 1]`.
+    pub fn relation_corruption(level: f64) -> Self {
+        Self::checked(CorruptionKind::RelationCorruption, level)
+    }
+
+    /// Anchor-window rotation (fraction of a class block) applied to
+    /// post-drift stream batches.
+    ///
+    /// # Panics
+    /// Panics if `level` is outside `[0, 1]`.
+    pub fn drift(level: f64) -> Self {
+        Self::checked(CorruptionKind::Drift, level)
+    }
+
+    fn checked(kind: CorruptionKind, level: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&level),
+            "corruption level {level} outside [0, 1]"
+        );
+        CorruptionSpec { kind, level }
+    }
+
+    /// Rewrite `cfg`'s corruption knobs in place. [`CorruptionKind::Clean`]
+    /// and [`CorruptionKind::Drift`] zero `corrupt_frac` (a drift
+    /// scenario's base corpus is clean; the rotation applies to the
+    /// streamed batches via [`Self::drift_shift`]).
+    pub fn apply(&self, cfg: &mut CorpusConfig) {
+        match self.kind {
+            CorruptionKind::Clean | CorruptionKind::Drift => cfg.corrupt_frac = 0.0,
+            CorruptionKind::FeatureNoise => {
+                cfg.corrupt_frac = 0.0;
+                cfg.topic_noise = (cfg.topic_noise + self.level).min(0.95);
+            }
+            CorruptionKind::RelationCorruption => cfg.corrupt_frac = self.level,
+        }
+    }
+
+    /// The anchor-window shift for stream generation, when this spec is
+    /// a drift spec.
+    pub fn drift_shift(&self) -> Option<f64> {
+        (self.kind == CorruptionKind::Drift).then_some(self.level)
+    }
+
+    /// Generate the corpus `base` describes under this corruption at
+    /// `seed` (deterministic: same `(base, self, seed)` → bit-identical
+    /// matrices).
+    pub fn corpus(&self, base: &CorpusConfig, seed: u64) -> MultiTypeCorpus {
+        let mut cfg = base.clone();
+        cfg.seed = seed;
+        self.apply(&mut cfg);
+        generate(&cfg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base() -> CorpusConfig {
+        CorpusConfig {
+            docs_per_class: vec![10, 10, 10],
+            vocab_size: 90,
+            concept_count: 30,
+            doc_len_range: (30, 50),
+            background_frac: 0.3,
+            topic_noise: 0.2,
+            concept_map_noise: 0.1,
+            corrupt_frac: 0.5, // specs must override this
+            subtopics_per_class: 1,
+            view_confusion: 0.0,
+            seed: 1,
+        }
+    }
+
+    #[test]
+    fn clean_zeroes_corruption() {
+        let c = CorruptionSpec::clean().corpus(&base(), 3);
+        assert!(c.corrupted_docs.is_empty());
+    }
+
+    #[test]
+    fn relation_corruption_sets_fraction() {
+        let c = CorruptionSpec::relation_corruption(0.3).corpus(&base(), 9);
+        assert!(!c.corrupted_docs.is_empty());
+        assert_eq!(c.config.corrupt_frac, 0.3);
+    }
+
+    #[test]
+    fn feature_noise_raises_topic_noise_and_caps() {
+        let mut cfg = base();
+        CorruptionSpec::feature_noise(0.25).apply(&mut cfg);
+        assert_eq!(cfg.topic_noise, 0.45);
+        assert_eq!(cfg.corrupt_frac, 0.0);
+        let mut hot = base();
+        hot.topic_noise = 0.9;
+        CorruptionSpec::feature_noise(0.25).apply(&mut hot);
+        assert_eq!(hot.topic_noise, 0.95);
+    }
+
+    #[test]
+    fn drift_shift_only_for_drift() {
+        assert_eq!(CorruptionSpec::drift(0.4).drift_shift(), Some(0.4));
+        assert_eq!(CorruptionSpec::clean().drift_shift(), None);
+        assert_eq!(CorruptionSpec::feature_noise(0.1).drift_shift(), None);
+    }
+
+    #[test]
+    fn corpus_is_reproducible() {
+        for spec in [
+            CorruptionSpec::clean(),
+            CorruptionSpec::feature_noise(0.2),
+            CorruptionSpec::relation_corruption(0.15),
+        ] {
+            let a = spec.corpus(&base(), 17);
+            let b = spec.corpus(&base(), 17);
+            assert_eq!(a.doc_term, b.doc_term, "{spec:?}");
+            assert_eq!(a.doc_concept, b.doc_concept, "{spec:?}");
+            assert_eq!(a.term_concept, b.term_concept, "{spec:?}");
+            assert_eq!(a.corrupted_docs, b.corrupted_docs, "{spec:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "outside [0, 1]")]
+    fn rejects_out_of_range_level() {
+        CorruptionSpec::feature_noise(1.5);
+    }
+
+    #[test]
+    fn kind_keys_are_stable() {
+        assert_eq!(CorruptionKind::Clean.key(), "clean");
+        assert_eq!(CorruptionKind::FeatureNoise.key(), "feature_noise");
+        assert_eq!(
+            CorruptionKind::RelationCorruption.key(),
+            "relation_corruption"
+        );
+        assert_eq!(CorruptionKind::Drift.key(), "drift");
+    }
+}

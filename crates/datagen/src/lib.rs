@@ -18,6 +18,9 @@
 //! * [`manifold`] — the Fig. 1 toy geometries (two intersecting circles,
 //!   unions of linear subspaces);
 //! * [`noise`] — corruption injectors used by the robustness experiments;
+//! * [`corruption`] — typed [`CorruptionSpec`] naming a corruption axis
+//!   (feature noise / relation corruption / drift) and its level, the
+//!   knob the `mtrl-eval` scenario matrix and the examples share;
 //! * [`split`] — train / held-out document splitting for out-of-sample
 //!   serving experiments;
 //! * [`stream`] — timestamped document batches from the same latent
@@ -29,6 +32,7 @@
 //! can exercise more than one RNG stream per push.
 
 pub mod corpus;
+pub mod corruption;
 pub mod datasets;
 pub mod manifold;
 pub mod noise;
@@ -36,6 +40,7 @@ pub mod split;
 pub mod stream;
 
 pub use corpus::{CorpusConfig, MultiTypeCorpus};
+pub use corruption::{CorruptionKind, CorruptionSpec};
 pub use datasets::{DatasetId, Scale};
 pub use manifold::{two_circles, union_of_subspaces};
 pub use split::{split_corpus, HeldOutDoc};

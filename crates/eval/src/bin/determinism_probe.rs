@@ -1,0 +1,76 @@
+//! Byte-exact fit dump for the CI determinism leg.
+//!
+//! ```text
+//! determinism_probe <out_file>
+//! ```
+//!
+//! Runs one full RHCHME fit (corpus seeded from `MTRL_SEED`, quick
+//! evaluation parameters) and writes every float of the result — `G`,
+//! `S`, the objective trace — plus all labels as little-endian bytes.
+//! CI runs it twice, under `MTRL_NUM_THREADS=1` and `=4`, and `cmp`s
+//! the two files: the parallel kernels' determinism contract (bit-equal
+//! results for every thread count) is enforced on a whole fit, not just
+//! per-kernel unit tests.
+
+use mtrl_datagen::{seed_from_env, CorruptionSpec};
+use mtrl_eval::{quick_params, rhchme_config, CorpusShape};
+use rhchme::rhchme::Rhchme;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let [out_path] = args.as_slice() else {
+        eprintln!("usage: determinism_probe <out_file>");
+        return ExitCode::FAILURE;
+    };
+    let seed = seed_from_env(2015);
+    let corpus =
+        CorruptionSpec::relation_corruption(0.1).corpus(&CorpusShape::Balanced3.config(), seed);
+    let rhchme = Rhchme::new(rhchme_config(&quick_params(seed)));
+    let result = match rhchme.fit_corpus(&corpus) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("fit failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let mut bytes: Vec<u8> = Vec::new();
+    bytes.extend_from_slice(b"mtrl-determinism-probe/v1\n");
+    bytes.extend_from_slice(&(seed).to_le_bytes());
+    for labels in std::iter::once(&result.doc_labels).chain(result.labels_per_type.iter()) {
+        bytes.extend_from_slice(&(labels.len() as u64).to_le_bytes());
+        for &l in labels {
+            bytes.extend_from_slice(&(l as u64).to_le_bytes());
+        }
+    }
+    for m in [&result.g, &result.s] {
+        bytes.extend_from_slice(&(m.rows() as u64).to_le_bytes());
+        bytes.extend_from_slice(&(m.cols() as u64).to_le_bytes());
+        for v in m.as_slice() {
+            bytes.extend_from_slice(&v.to_le_bytes());
+        }
+    }
+    bytes.extend_from_slice(&(result.objective_trace.len() as u64).to_le_bytes());
+    for v in &result.objective_trace {
+        bytes.extend_from_slice(&v.to_le_bytes());
+    }
+
+    if let Err(e) = std::fs::write(out_path, &bytes) {
+        eprintln!("cannot write {out_path}: {e}");
+        return ExitCode::FAILURE;
+    }
+    // FNV-1a for a one-line log fingerprint.
+    let mut hash: u64 = 0xcbf29ce484222325;
+    for &b in &bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x100000001b3);
+    }
+    println!(
+        "seed {seed}, threads {}: {} bytes, fnv1a {hash:016x}, {} iterations -> {out_path}",
+        mtrl_linalg::par::num_threads(),
+        bytes.len(),
+        result.iterations
+    );
+    ExitCode::SUCCESS
+}

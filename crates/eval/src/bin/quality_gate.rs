@@ -1,29 +1,26 @@
-//! CI benchmark regression gate.
-//!
-//! Compares a fresh `MTRL_BENCH_JSON` summary (see the vendored
-//! criterion shim) against a baseline committed in the repository:
+//! CI quality regression gate.
 //!
 //! ```text
-//! bench_gate <baseline.json> <current.json> [--tolerance 0.25]
+//! quality_gate <baseline.json> <current.json> [--tolerance 0.02]
 //! ```
 //!
-//! The comparison logic lives in [`mtrl_eval::gate::bench_gate`],
-//! shared with the quality gate: provenance headers (quick-mode
-//! marker, target-cpu features) are pinned, entry sets must match
-//! exactly — a benchmark present in only one summary is a named error,
-//! never a silent skip — and a markdown comparison table is appended
-//! to `$GITHUB_STEP_SUMMARY` when set. The gate exits non-zero when
-//! any shared benchmark's mean regresses beyond the tolerance.
+//! Diffs a fresh `quality_report` output against the committed
+//! `QUALITY_*.json` baseline and exits non-zero when any scenario's
+//! mean FScore or NMI drops by more than the tolerance. Mismatched
+//! entry sets or provenance headers (quick marker, target-cpu
+//! features, seed matrix) are configuration errors and also fail —
+//! the gate never silently skips an entry. A markdown comparison table
+//! is appended to `$GITHUB_STEP_SUMMARY` when set.
 
-use mtrl_eval::gate::bench_gate;
+use mtrl_eval::gate::quality_gate;
 use mtrl_eval::report::{append_step_summary, load_summary};
-use mtrl_eval::BENCH_TOLERANCE;
+use mtrl_eval::QUALITY_TOLERANCE;
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut paths = Vec::new();
-    let mut tolerance = BENCH_TOLERANCE;
+    let mut tolerance = QUALITY_TOLERANCE;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         if a == "--tolerance" {
@@ -37,7 +34,7 @@ fn main() -> ExitCode {
         }
     }
     if paths.len() != 2 {
-        eprintln!("usage: bench_gate <baseline.json> <current.json> [--tolerance 0.25]");
+        eprintln!("usage: quality_gate <baseline.json> <current.json> [--tolerance 0.02]");
         return ExitCode::FAILURE;
     }
     let (base, cur) = match (load_summary(&paths[0]), load_summary(&paths[1])) {
@@ -47,15 +44,15 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let report = match bench_gate(&base, &cur, tolerance) {
+    let report = match quality_gate(&base, &cur, tolerance) {
         Ok(r) => r,
         Err(e) => {
             eprintln!(
-                "bench gate cannot compare {} vs {}:\n{e}",
+                "quality gate cannot compare {} vs {}:\n{e}",
                 paths[0], paths[1]
             );
             append_step_summary(&format!(
-                "### Bench gate\n\n**configuration error**\n\n```\n{e}\n```"
+                "### Quality gate\n\n**configuration error**\n\n```\n{e}\n```"
             ));
             return ExitCode::FAILURE;
         }
@@ -66,16 +63,16 @@ fn main() -> ExitCode {
     print!("{}", report.text);
     append_step_summary(&report.markdown);
     if !report.passed() {
-        eprintln!("\nbenchmark gate FAILED:");
+        eprintln!("\nquality gate FAILED:");
         for f in &report.failures {
             eprintln!("  {f}");
         }
-        eprintln!("investigate, or refresh the committed baseline if the change is intentional");
+        eprintln!(
+            "investigate, or refresh the committed baseline (quality_report) if the \
+             quality change is intentional"
+        );
         return ExitCode::FAILURE;
     }
-    println!(
-        "\nbenchmark gate passed (tolerance {:.0}%)",
-        tolerance * 100.0
-    );
+    println!("\nquality gate passed (tolerance {tolerance:.3} mean FScore/NMI per scenario)");
     ExitCode::SUCCESS
 }

@@ -1,0 +1,75 @@
+//! Run the quick scenario matrix and write a `QUALITY_*.json` report.
+//!
+//! ```text
+//! quality_report <out.json> [--degrade]
+//! ```
+//!
+//! `--degrade` deliberately cripples the fits (manifold-ensemble
+//! regulariser off, error matrix squeezed out) — used to demonstrate
+//! that the quality gate fails when quality actually regresses.
+
+use mtrl_eval::{quick_matrix, run_matrix, RunOptions, QUICK_SEEDS};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut out_path = None;
+    let mut opts = RunOptions::default();
+    for a in &args {
+        match a.as_str() {
+            "--degrade" => opts.degrade = true,
+            _ if out_path.is_none() => out_path = Some(a.clone()),
+            _ => {
+                eprintln!("usage: quality_report <out.json> [--degrade]");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let Some(out_path) = out_path else {
+        eprintln!("usage: quality_report <out.json> [--degrade]");
+        return ExitCode::FAILURE;
+    };
+
+    let scenarios = quick_matrix();
+    println!(
+        "running {} scenarios x {} seeds{}...",
+        scenarios.len(),
+        QUICK_SEEDS.len(),
+        if opts.degrade { " (DEGRADED)" } else { "" }
+    );
+    let t0 = std::time::Instant::now();
+    let report = match run_matrix(&scenarios, &QUICK_SEEDS, &opts) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("matrix run failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "\n{:<32}  {:>14}  {:>14}  {:>14}",
+        "scenario", "FScore", "NMI", "ARI"
+    );
+    for s in &report.scenarios {
+        println!(
+            "{:<32}  {:>6.3}±{:<6.3}  {:>6.3}±{:<6.3}  {:>6.3}±{:<6.3}",
+            s.name, s.fscore.mean, s.fscore.sd, s.nmi.mean, s.nmi.sd, s.ari.mean, s.ari.sd
+        );
+    }
+    let path = std::path::Path::new(&out_path);
+    if let Some(dir) = path.parent() {
+        if !dir.as_os_str().is_empty() {
+            let _ = std::fs::create_dir_all(dir);
+        }
+    }
+    if let Err(e) = std::fs::write(path, report.to_json()) {
+        eprintln!("cannot write {out_path}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "\n[quality report written to {out_path} in {:.1?} — sha {}, features {}]",
+        t0.elapsed(),
+        report.meta.git_sha,
+        report.meta.target_features
+    );
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,246 @@
+//! The declarative scenario registry: corpus shape × corruption × path.
+//!
+//! A [`Scenario`] names one cell of the robustness matrix the paper's
+//! headline claims live in (Sec. IV): *which* corpus shape, under
+//! *which* corruption axis and level, driven through *which* pipeline
+//! path. The registry is plain data — the runner ([`crate::runner`])
+//! executes a scenario identically whether it is invoked by the
+//! `quality_report` bin, a test, or an example, and the committed
+//! `QUALITY_*.json` baseline is reproducible because every input is
+//! named here.
+
+use mtrl_datagen::{CorpusConfig, CorruptionSpec};
+use rhchme::pipeline::Method;
+
+/// How a scenario drives the system.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EvalPath {
+    /// Cold fit via [`rhchme::pipeline::run_method`]; scored on the
+    /// corpus's own documents.
+    ColdFit(Method),
+    /// Fit RHCHME on a stratified training split, export the model, and
+    /// fold the held-out documents in through `mtrl_serve::Assigner` —
+    /// gates the serving subsystem's quality.
+    ServeFoldIn,
+    /// Stream batches into a `mtrl_stream::StreamSession`, warm-refit,
+    /// and score post-drift fold-in under the refreshed model — gates
+    /// the streaming subsystem's quality.
+    StreamWarmRefit,
+}
+
+impl EvalPath {
+    /// Stable scenario-key fragment.
+    pub fn key(self) -> String {
+        match self {
+            EvalPath::ColdFit(m) => m.paper_name().to_lowercase().replace('-', "_"),
+            EvalPath::ServeFoldIn => "serve_foldin".to_string(),
+            EvalPath::StreamWarmRefit => "stream_warm".to_string(),
+        }
+    }
+}
+
+/// Corpus shape presets of the matrix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CorpusShape {
+    /// 3 balanced classes × 20 documents, 90 terms, 24 concepts — the
+    /// quick matrix's workhorse.
+    Balanced3,
+    /// 5 skewed classes (6…18 documents), 120 terms, 36 concepts — the
+    /// R-Min20Max200-like shape the parameter study sweeps.
+    Skewed5,
+    /// 3 balanced classes × 8 documents, 60 terms, 15 concepts — tiny,
+    /// for unit/integration tests of the eval layer itself.
+    Tiny3,
+}
+
+impl CorpusShape {
+    /// The generator configuration of this shape (uncorrupted, seed 0 —
+    /// the runner overrides the seed and applies the corruption spec).
+    pub fn config(self) -> CorpusConfig {
+        match self {
+            CorpusShape::Balanced3 => CorpusConfig {
+                docs_per_class: vec![20, 20, 20],
+                vocab_size: 90,
+                concept_count: 24,
+                doc_len_range: (40, 70),
+                background_frac: 0.25,
+                topic_noise: 0.25,
+                concept_map_noise: 0.1,
+                corrupt_frac: 0.0,
+                // Multi-modal classes + complementary view confusion:
+                // the manifold structure (Fig. 1) that separates the
+                // method families — without it every method saturates
+                // and the matrix gates nothing but ties.
+                subtopics_per_class: 2,
+                view_confusion: 0.25,
+                seed: 0,
+            },
+            CorpusShape::Skewed5 => CorpusConfig {
+                docs_per_class: vec![6, 9, 12, 15, 18],
+                vocab_size: 120,
+                concept_count: 36,
+                doc_len_range: (40, 80),
+                background_frac: 0.3,
+                topic_noise: 0.3,
+                concept_map_noise: 0.15,
+                corrupt_frac: 0.0,
+                subtopics_per_class: 1,
+                view_confusion: 0.0,
+                seed: 0,
+            },
+            CorpusShape::Tiny3 => CorpusConfig {
+                docs_per_class: vec![8, 8, 8],
+                vocab_size: 60,
+                concept_count: 15,
+                doc_len_range: (25, 40),
+                background_frac: 0.25,
+                topic_noise: 0.2,
+                concept_map_noise: 0.1,
+                corrupt_frac: 0.0,
+                subtopics_per_class: 1,
+                view_confusion: 0.0,
+                seed: 0,
+            },
+        }
+    }
+}
+
+/// One cell of the evaluation matrix.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// Unique report key, `corruption/path` (e.g. `feature_noise/rhchme`).
+    pub name: String,
+    /// Corpus shape preset.
+    pub shape: CorpusShape,
+    /// Corruption axis and level.
+    pub corruption: CorruptionSpec,
+    /// Pipeline path under test.
+    pub path: EvalPath,
+}
+
+impl Scenario {
+    /// Build a scenario with the canonical `corruption/path` key.
+    pub fn new(shape: CorpusShape, corruption: CorruptionSpec, path: EvalPath) -> Self {
+        Scenario {
+            name: format!("{}/{}", corruption.kind.key(), path.key()),
+            shape,
+            corruption,
+            path,
+        }
+    }
+}
+
+/// The fixed seed matrix of the committed quality baseline. Deliberately
+/// *not* shifted by `MTRL_SEED`: the committed `QUALITY_*.json` numbers
+/// are only reproducible under the seeds they were measured with (the
+/// gate pins them via the meta header).
+pub const QUICK_SEEDS: [u64; 3] = [11, 23, 37];
+
+/// The four multi-type methods the quality matrix covers.
+pub const HOCC_METHODS: [Method; 4] = [Method::Src, Method::Snmtf, Method::Rmc, Method::Rhchme];
+
+/// The paper-faithful quick matrix: clean vs feature-noise vs
+/// relation-corruption cold fits for all four HOCC methods, plus the
+/// serve fold-in and stream warm-refit paths — every subsystem's quality
+/// is gated, not just the cold fit.
+///
+/// Known tie: at this scale RMC's learned 6-candidate ensemble settles
+/// into the same label partition as SNMTF's single cosine graph on
+/// every cell (same k-means init, similar healthy optima), so the RMC
+/// rows duplicate SNMTF's numbers. They are kept anyway: they gate
+/// RMC's *own* pipeline — a regression in its ensemble-weight
+/// re-optimisation that degenerates the combined Laplacian moves RMC's
+/// labels on the mid-range noisy cells and trips the gate, even though
+/// a healthy RMC is indistinguishable from SNMTF here. Scenarios where
+/// the two methods genuinely diverge sit near basin boundaries, which
+/// is exactly where a regression gate must not live.
+pub fn quick_matrix() -> Vec<Scenario> {
+    let corruptions = [
+        CorruptionSpec::clean(),
+        CorruptionSpec::feature_noise(0.2),
+        CorruptionSpec::relation_corruption(0.15),
+    ];
+    let mut matrix = Vec::new();
+    for corruption in corruptions {
+        for method in HOCC_METHODS {
+            matrix.push(Scenario::new(
+                CorpusShape::Balanced3,
+                corruption,
+                EvalPath::ColdFit(method),
+            ));
+        }
+    }
+    matrix.push(Scenario::new(
+        CorpusShape::Balanced3,
+        CorruptionSpec::clean(),
+        EvalPath::ServeFoldIn,
+    ));
+    matrix.push(Scenario::new(
+        CorpusShape::Balanced3,
+        CorruptionSpec::drift(0.4),
+        EvalPath::StreamWarmRefit,
+    ));
+    matrix
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_matrix_covers_methods_and_paths() {
+        let m = quick_matrix();
+        assert_eq!(m.len(), 14);
+        for method in HOCC_METHODS {
+            assert!(
+                m.iter()
+                    .filter(|s| s.path == EvalPath::ColdFit(method))
+                    .count()
+                    >= 3,
+                "{method:?} missing corruption coverage"
+            );
+        }
+        assert!(m.iter().any(|s| s.path == EvalPath::ServeFoldIn));
+        assert!(m.iter().any(|s| s.path == EvalPath::StreamWarmRefit));
+    }
+
+    #[test]
+    fn scenario_keys_are_unique() {
+        let m = quick_matrix();
+        for (i, a) in m.iter().enumerate() {
+            for b in &m[i + 1..] {
+                assert_ne!(a.name, b.name);
+            }
+        }
+    }
+
+    #[test]
+    fn keys_are_stable() {
+        let s = Scenario::new(
+            CorpusShape::Balanced3,
+            CorruptionSpec::feature_noise(0.2),
+            EvalPath::ColdFit(Method::Rhchme),
+        );
+        assert_eq!(s.name, "feature_noise/rhchme");
+        let s = Scenario::new(
+            CorpusShape::Balanced3,
+            CorruptionSpec::drift(0.4),
+            EvalPath::StreamWarmRefit,
+        );
+        assert_eq!(s.name, "drift/stream_warm");
+        assert_eq!(EvalPath::ColdFit(Method::DrTC).key(), "dr_tc");
+    }
+
+    #[test]
+    fn shapes_generate() {
+        for shape in [
+            CorpusShape::Balanced3,
+            CorpusShape::Skewed5,
+            CorpusShape::Tiny3,
+        ] {
+            let c = CorruptionSpec::clean().corpus(&shape.config(), 5);
+            assert!(c.num_docs() >= 24);
+            assert!(c.num_classes >= 3);
+        }
+    }
+}

@@ -19,6 +19,32 @@ pub mod confusion;
 
 pub use confusion::Confusion;
 
+/// The three external criteria the evaluation layer reports per
+/// scenario, computed in one call by [`quality_scores`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QualityScores {
+    /// FScore (Eq. 38).
+    pub fscore: f64,
+    /// Normalised mutual information (Eq. 39, sqrt-normalised).
+    pub nmi: f64,
+    /// Adjusted Rand index (Hubert & Arabie).
+    pub ari: f64,
+}
+
+/// Compute [`fscore`], [`nmi`] and [`adjusted_rand_index`] together —
+/// the report hook `mtrl-eval` scenario runs and `pipeline::MethodOutput`
+/// funnel through.
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+pub fn quality_scores(truth: &[usize], pred: &[usize]) -> QualityScores {
+    QualityScores {
+        fscore: fscore(truth, pred),
+        nmi: nmi(truth, pred),
+        ari: adjusted_rand_index(truth, pred),
+    }
+}
+
 /// FScore of Eq. (38): `Σ_j (n_j/n) · max_l F(j, l)` with
 /// `F(j, l) = 2 n_jl / (n_j + n_l)`.
 ///
@@ -205,6 +231,16 @@ mod tests {
         assert!((adjusted_rand_index(&truth, &pred) - 1.0).abs() < 1e-12);
         let (p, r, f) = pairwise_scores(&truth, &pred);
         assert_eq!((p, r, f), (1.0, 1.0, 1.0));
+    }
+
+    #[test]
+    fn quality_scores_bundles_the_three_criteria() {
+        let truth = vec![0, 0, 1, 1, 2, 2];
+        let pred = vec![0, 0, 1, 2, 2, 2];
+        let q = quality_scores(&truth, &pred);
+        assert_eq!(q.fscore, fscore(&truth, &pred));
+        assert_eq!(q.nmi, nmi(&truth, &pred));
+        assert_eq!(q.ari, adjusted_rand_index(&truth, &pred));
     }
 
     #[test]

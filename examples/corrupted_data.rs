@@ -4,46 +4,39 @@
 //! cargo run --release --example corrupted_data
 //! ```
 //!
-//! Sweeps the fraction of corrupted documents and compares RHCHME (with
-//! `E_R`) against the same pipeline with the error matrix disabled
-//! (SNMTF-style squared loss). The paper's claim (Sec. III-C): the
-//! squared loss "might fail to control the decomposition quality" under
-//! corruption, while the L2,1 error matrix absorbs it sample-wise. The
-//! example also shows that the rows of `E_R` with the largest norms are
-//! overwhelmingly the truly corrupted documents — the error matrix acts
-//! as a built-in corruption detector.
+//! A thin wrapper over the evaluation layer: the corpora come from a
+//! shared shape preset ([`CorpusShape::Skewed5`], the shape the
+//! parameter study sweeps) and the typed corruption knob
+//! ([`CorruptionSpec::relation_corruption`]) the gated
+//! `QUALITY_quick.json` matrix uses, and the parameters are
+//! [`quick_params`] — so the numbers printed here live on the same
+//! scale as the committed baseline. The example sweeps the corruption
+//! level past the gated point (up to 30% of documents destroyed) and
+//! compares RHCHME (with `E_R`) against the same pipeline with the
+//! error matrix disabled (SNMTF-style squared loss). The paper's claim
+//! (Sec. III-C): the squared loss "might fail to control the
+//! decomposition quality" under corruption, while the L2,1 error matrix
+//! absorbs it sample-wise. The example also shows that the rows of
+//! `E_R` with the largest norms are overwhelmingly the truly corrupted
+//! documents — the error matrix acts as a built-in corruption detector.
 
 use rhchme_repro::core::engine::{run_engine, EngineConfig, GraphRegularizer};
-use rhchme_repro::core::pipeline::{Artifacts, PipelineParams};
+use rhchme_repro::core::pipeline::Artifacts;
 use rhchme_repro::prelude::*;
 
 fn main() {
+    let params = quick_params(77);
     println!(
         "{:<10} {:>12} {:>12} {:>20}",
         "corrupt%", "F (with E_R)", "F (no E_R)", "detect precision@k"
     );
-    for corrupt in [0.0, 0.05, 0.10, 0.20, 0.30] {
-        let corpus = mtrl_datagen::corpus::generate(&CorpusConfig {
-            docs_per_class: vec![12, 12, 12],
-            vocab_size: 90,
-            concept_count: 24,
-            doc_len_range: (40, 70),
-            background_frac: 0.25,
-            topic_noise: 0.25,
-            concept_map_noise: 0.1,
-            corrupt_frac: corrupt,
-            subtopics_per_class: 1,
-            view_confusion: 0.0,
-            seed: 77,
-        });
-        let params = PipelineParams {
-            lambda: 1.0,
-            beta: 10.0,
-            max_iter: 50,
-            spg_max_iter: 40,
-            feature_cluster_divisor: 10,
-            ..PipelineParams::default()
+    for level in [0.0, 0.05, 0.10, 0.20, 0.30] {
+        let spec = if level == 0.0 {
+            CorruptionSpec::clean()
+        } else {
+            CorruptionSpec::relation_corruption(level)
         };
+        let corpus = spec.corpus(&CorpusShape::Skewed5.config(), params.seed);
         let arts = Artifacts::new(&corpus, &params).expect("artifacts");
         let l_sub = arts
             .subspace_laplacian(params.gamma, params.spg_max_iter, params.seed)
@@ -51,18 +44,26 @@ fn main() {
 
         // With the error matrix (RHCHME proper).
         let with_er = arts
-            .run_rhchme_engine(&l_sub, 1.0, params.lambda, params.beta, 50, 1e-6, false)
+            .run_rhchme_engine(
+                &l_sub,
+                params.alpha,
+                params.lambda,
+                params.beta,
+                params.max_iter,
+                params.tol,
+                false,
+            )
             .expect("rhchme");
         let f_with = fscore(&corpus.labels, &with_er.doc_labels);
 
         // Same ensemble, error matrix off (squared-loss ablation).
-        let l = rhchme_repro::core::intra::hetero_laplacian(&l_sub, &arts.l_pnn, 1.0)
+        let l = rhchme_repro::core::intra::hetero_laplacian(&l_sub, &arts.l_pnn, params.alpha)
             .expect("ensemble");
         let cfg = EngineConfig {
             lambda: params.lambda,
             use_error_matrix: false,
             l1_row_normalize: true,
-            max_iter: 50,
+            max_iter: params.max_iter,
             ..EngineConfig::default()
         };
         let no_er = run_engine(
@@ -94,7 +95,7 @@ fn main() {
 
         println!(
             "{:<10.2} {:>12.3} {:>12.3} {:>20.3}",
-            corrupt * 100.0,
+            level * 100.0,
             f_with,
             f_without,
             precision

@@ -8,33 +8,21 @@
 //! small skewed corpus, reusing every sweep-invariant artifact (features,
 //! pNN Laplacian, subspace Laplacian, k-means init, assembled R). This is
 //! the same machinery the `fig2_parameters` bench uses at full scale.
+//! The corpus comes from the evaluation layer's skewed shape preset
+//! ([`CorpusShape::Skewed5`]) under a typed corruption knob
+//! ([`CorruptionSpec::relation_corruption`]), and the sweep centre is
+//! [`quick_params`] — the exact configuration the gated quality matrix
+//! runs.
 
-use rhchme_repro::core::pipeline::{Artifacts, PipelineParams};
+use rhchme_repro::core::pipeline::Artifacts;
 use rhchme_repro::prelude::*;
 
 fn main() {
-    // A small R-Min20Max200-like corpus (skewed classes).
-    let corpus = mtrl_datagen::corpus::generate(&CorpusConfig {
-        docs_per_class: vec![6, 9, 12, 15, 18],
-        vocab_size: 120,
-        concept_count: 36,
-        doc_len_range: (40, 80),
-        background_frac: 0.3,
-        topic_noise: 0.3,
-        concept_map_noise: 0.15,
-        corrupt_frac: 0.08,
-        subtopics_per_class: 1,
-        view_confusion: 0.0,
-        seed: 99,
-    });
-    let params = PipelineParams {
-        lambda: 1.0,
-        beta: 10.0,
-        max_iter: 50,
-        spg_max_iter: 40,
-        feature_cluster_divisor: 10,
-        ..PipelineParams::default()
-    };
+    // An R-Min20Max200-like corpus (skewed classes), 8% of documents
+    // destroyed.
+    let corpus =
+        CorruptionSpec::relation_corruption(0.08).corpus(&CorpusShape::Skewed5.config(), 99);
+    let params = quick_params(99);
 
     let t0 = std::time::Instant::now();
     let arts = Artifacts::new(&corpus, &params).expect("artifacts");
@@ -47,7 +35,15 @@ fn main() {
     println!("{:>8} {:>8} {:>8}", "alpha", "FScore", "NMI");
     for alpha in [1.0 / 16.0, 0.25, 0.5, 1.0, 2.0, 4.0, 16.0] {
         let res = arts
-            .run_rhchme_engine(&l_sub, alpha, params.lambda, params.beta, 50, 1e-6, false)
+            .run_rhchme_engine(
+                &l_sub,
+                alpha,
+                params.lambda,
+                params.beta,
+                params.max_iter,
+                params.tol,
+                false,
+            )
             .expect("engine");
         println!(
             "{:>8.3} {:>8.3} {:>8.3}",
@@ -61,7 +57,15 @@ fn main() {
     println!("{:>8} {:>8} {:>8}", "beta", "FScore", "NMI");
     for beta in [1.0, 10.0, 20.0, 50.0, 100.0, 1000.0] {
         let res = arts
-            .run_rhchme_engine(&l_sub, 1.0, params.lambda, beta, 50, 1e-6, false)
+            .run_rhchme_engine(
+                &l_sub,
+                params.alpha,
+                params.lambda,
+                beta,
+                params.max_iter,
+                params.tol,
+                false,
+            )
             .expect("engine");
         println!(
             "{:>8.1} {:>8.3} {:>8.3}",

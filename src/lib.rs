@@ -12,6 +12,7 @@
 //! `target/bench-results/`.
 
 pub use mtrl_datagen as datagen;
+pub use mtrl_eval as eval;
 pub use mtrl_graph as graph;
 pub use mtrl_linalg as linalg;
 pub use mtrl_metrics as metrics;
@@ -25,7 +26,12 @@ pub use rhchme as core;
 pub mod prelude {
     pub use mtrl_datagen::datasets::{load, DatasetId, Scale};
     pub use mtrl_datagen::stream::{generate_stream, StreamBatch, StreamConfig};
-    pub use mtrl_datagen::{split_corpus, CorpusConfig, HeldOutDoc, MultiTypeCorpus};
+    pub use mtrl_datagen::{
+        split_corpus, CorpusConfig, CorruptionKind, CorruptionSpec, HeldOutDoc, MultiTypeCorpus,
+    };
+    pub use mtrl_eval::{
+        quick_matrix, quick_params, run_scenario, CorpusShape, EvalPath, RunOptions, Scenario,
+    };
     pub use mtrl_metrics::{adjusted_rand_index, fscore, nmi, purity};
     pub use mtrl_serve::{
         AssignRequest, AssignResponse, Assigner, FittedModel, ServeEngine, ServeError, SparseVec,

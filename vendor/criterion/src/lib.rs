@@ -190,15 +190,52 @@ fn run_one<F: FnMut(&mut Bencher)>(name: &str, sample_size: usize, f: &mut F) {
         .push((name.to_string(), mean));
 }
 
-/// Write the `{"results": {name: mean_ns}}` summary to the path named by
-/// `MTRL_BENCH_JSON`, if set. Invoked by `criterion_main!` after every
-/// group has run; a no-op without the env var.
+/// Best-effort short git sha of the working tree for the summary's
+/// provenance header (`unknown` outside a repository).
+fn git_sha() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+/// The compile-time CPU features the hot kernels depend on, matching
+/// `mtrl_eval::report::target_features` (the gate compares the strings,
+/// so the two implementations must agree).
+fn target_features() -> String {
+    let mut feats: Vec<&str> = Vec::new();
+    if cfg!(target_feature = "avx2") {
+        feats.push("avx2");
+    }
+    if cfg!(target_feature = "fma") {
+        feats.push("fma");
+    }
+    feats.join(",")
+}
+
+/// Write the `{"meta": {...}, "results": {name: mean_ns}}` summary to
+/// the path named by `MTRL_BENCH_JSON`, if set. Invoked by
+/// `criterion_main!` after every group has run; a no-op without the env
+/// var. The `meta` header (git sha, quick-mode marker, target-cpu
+/// features) lets `bench_gate` refuse to compare summaries measured
+/// under different sample budgets or instruction sets.
 pub fn write_json_summary() {
     let Ok(path) = std::env::var("MTRL_BENCH_JSON") else {
         return;
     };
     let results = RESULTS.lock().expect("results registry poisoned");
-    let mut body = String::from("{\n  \"schema\": \"mtrl-bench-summary/v1\",\n  \"results\": {");
+    let mut body = format!(
+        "{{\n  \"schema\": \"mtrl-bench-summary/v1\",\n  \"meta\": {{ \"git_sha\": \"{}\", \
+         \"quick\": {}, \"target_features\": \"{}\" }},\n  \"results\": {{",
+        git_sha(),
+        quick_mode(),
+        target_features()
+    );
     for (idx, (name, mean)) in results.iter().enumerate() {
         if idx > 0 {
             body.push(',');
