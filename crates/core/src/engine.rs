@@ -64,6 +64,37 @@
 //! rows (norm ≥ [`EngineConfig::error_export_rel`] of the largest),
 //! matching the ℓ2,1 model: most rows shrink to near-zero, corrupted
 //! samples stay large.
+//!
+//! # Observability (stable metric-name contract)
+//!
+//! With `MTRL_OBS=1` (see `mtrl-obs`), every [`run_engine`] call reports
+//! into the global registry. The names below are a **stable contract** —
+//! exporters, dashboards, and the CI manifest rely on them:
+//!
+//! * span `engine.fit` — wall time of the whole call (nested under any
+//!   caller spans, e.g. `rhchme.fit/engine.fit`);
+//! * span aggregates `engine.fit.spmm`, `engine.fit.lowrank`,
+//!   `engine.fit.update`, `engine.fit.residual` — cumulative per-phase
+//!   kernel time across the iteration loop (`count` = iterations):
+//!   `spmm` is the `R·G` / `GᵀG` refresh, `lowrank` the regulariser
+//!   resolve + implicit-`E_R` correction + Eq. 18 `S` solve, `update`
+//!   the Eq. 21 multiplicative `G` update + row normalisation,
+//!   `residual` the trace-identity `‖q_i‖` / `E_R` / objective
+//!   evaluation;
+//! * counters `engine.fits` (calls) and `engine.iterations` (total
+//!   iterations across calls);
+//! * a `FitTelemetry` record (label `engine.fit`) with the problem shape
+//!   (`n`, `c`, `nnz`), convergence outcome, the four phase totals, and
+//!   a per-iteration trace of `objective`, `rel_change`, and
+//!   `er_active_rows` (rows clearing the
+//!   [`EngineConfig::error_export_rel`] threshold — Fig. 3's
+//!   convergence evidence, machine-readable).
+//!
+//! Instrumentation only reads iterates and the monotonic clock; it is
+//! exactly skipped when `MTRL_OBS` is off and never changes the
+//! floating-point computation, so fits are byte-identical either way
+//! (CI pins this with `determinism_probe`). The dense reference path is
+//! deliberately uninstrumented.
 
 use crate::error::RhchmeError;
 use crate::multitype::MultiTypeData;
@@ -74,7 +105,48 @@ use mtrl_linalg::ops::{g_s_gt, gram, matmul, matmul_tn};
 use mtrl_linalg::simplex::project_simplex;
 use mtrl_linalg::solve::ridge_inverse;
 use mtrl_linalg::{Mat, EPS};
+use mtrl_obs::{FitTelemetry, IterTelemetry};
 use mtrl_sparse::{Csr, RowSparse, SparseBlockDiag};
+use std::time::Instant;
+
+/// Kernel-phase indices for [`PhaseClock`] (see the module docs'
+/// observability section for what each phase covers).
+const PHASE_SPMM: usize = 0;
+const PHASE_LOWRANK: usize = 1;
+const PHASE_UPDATE: usize = 2;
+const PHASE_RESIDUAL: usize = 3;
+
+/// Cumulative per-phase wall clock for the iteration loop. Inert (no
+/// clock reads at all) when observability is off.
+struct PhaseClock {
+    lap_start: Option<Instant>,
+    ns: [u64; 4],
+}
+
+impl PhaseClock {
+    fn new(enabled: bool) -> Self {
+        PhaseClock {
+            lap_start: enabled.then(Instant::now),
+            ns: [0; 4],
+        }
+    }
+
+    /// Restart the lap timer (top of each iteration).
+    fn mark(&mut self) {
+        if self.lap_start.is_some() {
+            self.lap_start = Some(Instant::now());
+        }
+    }
+
+    /// Charge the time since the last mark/lap to `phase`.
+    fn lap(&mut self, phase: usize) {
+        if let Some(start) = self.lap_start {
+            let now = Instant::now();
+            self.ns[phase] += u64::try_from(now.duration_since(start).as_nanos()).unwrap_or(0);
+            self.lap_start = Some(now);
+        }
+    }
+}
 
 /// Graph regulariser attached to the trace term `λ·tr(GᵀLG)`.
 #[derive(Debug, Clone)]
@@ -357,6 +429,13 @@ pub fn run_engine(
     }
     validate_common(n, c, &g0, reg, cfg)?;
 
+    // Observability (reads-only; skipped entirely when MTRL_OBS is off —
+    // the fit itself is byte-identical either way).
+    let obs = mtrl_obs::enabled();
+    let _fit_span = mtrl_obs::span!("engine.fit");
+    let mut clock = PhaseClock::new(obs);
+    let mut iter_telemetry: Vec<IterTelemetry> = Vec::new();
+
     let mut g = g0;
     let mut s = Mat::zeros(c, c);
     let reg_state = RegState::new(reg);
@@ -395,6 +474,7 @@ pub fn run_engine(
 
     for t in 0..cfg.max_iter {
         iterations = t + 1;
+        clock.mark();
 
         // ---- Regulariser for this iteration -------------------------
         ens_storage = None;
@@ -416,6 +496,7 @@ pub fn run_engine(
         let ginv = ridge_inverse(gram_g, cfg.ridge)?;
         let gtm = matmul_tn(&g, m1)?; // Gᵀ(R − E_R)G, c x c
         s = matmul(&matmul(&ginv, &gtm)?, &ginv)?;
+        clock.lap(PHASE_LOWRANK);
 
         // ---- Step 4: multiplicative G update (Eq. 21) ---------------
         let a = matmul(m1, &s.transpose())?; // (R − E_R) G Sᵀ, n x c
@@ -444,12 +525,14 @@ pub fn run_engine(
         if cfg.l1_row_normalize {
             g.normalize_rows_l1(1e-300);
         }
+        clock.lap(PHASE_UPDATE);
 
         // ---- Steps 6-7: E_R update (Eqs. 25-27), trace form ----------
         // Refresh R·G and GᵀG for the updated G (also next iteration's
         // step 3 — neither is recomputed there).
         rg = r.spmm_dense(&g);
         gram_cur = gram(&g);
+        clock.lap(PHASE_SPMM);
         // ‖q_i‖² = ‖r_i‖² − 2·(R G Sᵀ)_i·g_i + g_i (S GᵀG Sᵀ) g_iᵀ —
         // per row block, no Q matrix. Cancellation is clamped at zero.
         let m_q = matmul(&matmul(&s, &gram_cur)?, &s.transpose())?; // S K Sᵀ
@@ -491,6 +574,31 @@ pub fn run_engine(
         };
         let obj = fit + l21_term + cfg.lambda * reg_term;
         objective_trace.push(obj);
+        clock.lap(PHASE_RESIDUAL);
+
+        if obs {
+            let rel_change = if t > 0 {
+                (prev_obj - obj).abs() / prev_obj.abs().max(1.0)
+            } else {
+                0.0
+            };
+            let er_active_rows = if error_row_norms.is_empty() {
+                0
+            } else {
+                let max = error_row_norms.iter().cloned().fold(0.0, f64::max);
+                let threshold = cfg.error_export_rel * max;
+                if max > 0.0 {
+                    error_row_norms.iter().filter(|&&x| x >= threshold).count()
+                } else {
+                    0
+                }
+            };
+            iter_telemetry.push(IterTelemetry {
+                objective: obj,
+                rel_change,
+                er_active_rows,
+            });
+        }
 
         if let Some(ty) = cfg.record_labels_for_type {
             label_trace.push(data.labels_from_membership(&g, ty));
@@ -505,6 +613,30 @@ pub fn run_engine(
             }
         }
         prev_obj = obj;
+    }
+
+    if obs {
+        let reg_handle = mtrl_obs::global();
+        let iters = iterations as u64;
+        reg_handle.record_span_agg("engine.fit.spmm", iters, clock.ns[PHASE_SPMM], 0);
+        reg_handle.record_span_agg("engine.fit.lowrank", iters, clock.ns[PHASE_LOWRANK], 0);
+        reg_handle.record_span_agg("engine.fit.update", iters, clock.ns[PHASE_UPDATE], 0);
+        reg_handle.record_span_agg("engine.fit.residual", iters, clock.ns[PHASE_RESIDUAL], 0);
+        reg_handle.add("engine.fits", 1);
+        reg_handle.add("engine.iterations", iters);
+        reg_handle.record_fit(FitTelemetry {
+            label: "engine.fit".to_string(),
+            n,
+            c,
+            nnz: r.nnz(),
+            iterations,
+            converged,
+            spmm_ns: clock.ns[PHASE_SPMM],
+            lowrank_ns: clock.ns[PHASE_LOWRANK],
+            update_ns: clock.ns[PHASE_UPDATE],
+            residual_ns: clock.ns[PHASE_RESIDUAL],
+            iters: iter_telemetry,
+        });
     }
 
     let error_rows = if cfg.use_error_matrix {
@@ -1047,6 +1179,54 @@ mod tests {
                 (rebuilt - norms[i]).abs() <= 1e-6 * norms[i].max(1e-12),
                 "row {i}: materialised norm {rebuilt} vs reported {}",
                 norms[i]
+            );
+        }
+    }
+
+    #[test]
+    fn fit_telemetry_recorded_when_obs_enabled() {
+        let (data, _) = tiny_data();
+        let r = data.assemble_r_csr();
+        let g0 = init_g(&data, 12);
+        let cfg = EngineConfig {
+            lambda: 0.0,
+            beta: 10.0,
+            max_iter: 6,
+            tol: 0.0,
+            ..EngineConfig::default()
+        };
+        mtrl_obs::force_enable();
+        let res = run_engine(&r, &data, &GraphRegularizer::None, g0, &cfg).unwrap();
+        let fits = mtrl_obs::global().fits_snapshot();
+        // Other tests in this binary may also have recorded fits; find ours
+        // by shape.
+        let fit = fits
+            .iter()
+            .rev()
+            .find(|f| f.n == data.total_objects() && f.iterations == res.iterations)
+            .expect("telemetry for this fit");
+        assert_eq!(fit.label, "engine.fit");
+        assert_eq!(fit.c, data.total_clusters());
+        assert_eq!(fit.nnz, r.nnz());
+        assert_eq!(fit.iters.len(), res.iterations);
+        for (it, &obj) in fit.iters.iter().zip(&res.objective_trace) {
+            assert_eq!(it.objective, obj);
+        }
+        assert_eq!(fit.iters[0].rel_change, 0.0);
+        for it in &fit.iters[1..] {
+            assert!(it.rel_change.is_finite() && it.rel_change >= 0.0);
+            assert!(it.er_active_rows <= data.total_objects());
+        }
+        let spans = mtrl_obs::global().spans_snapshot();
+        for phase in [
+            "engine.fit.spmm",
+            "engine.fit.lowrank",
+            "engine.fit.update",
+            "engine.fit.residual",
+        ] {
+            assert!(
+                spans.iter().any(|(p, st)| p == phase && st.count > 0),
+                "missing phase aggregate {phase}"
             );
         }
     }

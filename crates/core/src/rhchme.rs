@@ -171,10 +171,14 @@ impl Rhchme {
     /// # Errors
     /// Propagates optimisation errors ([`crate::RhchmeError`]).
     pub fn fit_data(&self, data: &MultiTypeData) -> Result<RhchmeResult> {
+        let _span = mtrl_obs::span!("rhchme.fit");
         let cfg = &self.config;
         let features = data.all_features();
         let l = self.full_laplacian(&features)?;
-        let g0 = init_membership(data, &features, cfg.seed);
+        let g0 = {
+            let _init_span = mtrl_obs::span!("rhchme.kmeans_init");
+            init_membership(data, &features, cfg.seed)
+        };
         self.run_with(data, l, g0, cfg.max_iter)
     }
 
@@ -197,6 +201,7 @@ impl Rhchme {
     /// not match `data`'s layout (or is negative), and propagates
     /// optimisation errors.
     pub fn fit_warm(&self, data: &MultiTypeData, warm: WarmStart) -> Result<RhchmeResult> {
+        let _span = mtrl_obs::span!("rhchme.fit_warm");
         let l = match warm.laplacian {
             Some(l) => l,
             None => self.full_laplacian(&data.all_features())?,
@@ -208,6 +213,7 @@ impl Rhchme {
     /// Stages 1 & 2 of the paper: subspace Laplacians, pNN Laplacians,
     /// and their heterogeneous ensemble (Eq. 12), per this config.
     fn full_laplacian(&self, features: &[Mat]) -> Result<mtrl_sparse::SparseBlockDiag> {
+        let _span = mtrl_obs::span!("rhchme.laplacian");
         let cfg = &self.config;
         let spg_cfg = SpgConfig {
             gamma: cfg.gamma,

@@ -1,34 +1,46 @@
 //! Run the quick scenario matrix and write a `QUALITY_*.json` report.
 //!
 //! ```text
-//! quality_report <out.json> [--degrade]
+//! quality_report <out.json> [--degrade] [--timings]
 //! ```
 //!
 //! `--degrade` deliberately cripples the fits (manifold-ensemble
 //! regulariser off, error matrix squeezed out) — used to demonstrate
 //! that the quality gate fails when quality actually regresses.
+//!
+//! `--timings` force-enables `mtrl-obs` for the run and writes the
+//! collected telemetry (engine phase timings, span aggregates, serve
+//! latency histograms) as an `mtrl-obs-manifest/v1` JSON next to the
+//! quality report, at `<out.json>.obs.json`.
 
 use mtrl_eval::{quick_matrix, run_matrix, RunOptions, QUICK_SEEDS};
 use std::process::ExitCode;
+
+const USAGE: &str = "usage: quality_report <out.json> [--degrade] [--timings]";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut out_path = None;
     let mut opts = RunOptions::default();
+    let mut timings = false;
     for a in &args {
         match a.as_str() {
             "--degrade" => opts.degrade = true,
+            "--timings" => timings = true,
             _ if out_path.is_none() => out_path = Some(a.clone()),
             _ => {
-                eprintln!("usage: quality_report <out.json> [--degrade]");
+                eprintln!("{USAGE}");
                 return ExitCode::FAILURE;
             }
         }
     }
     let Some(out_path) = out_path else {
-        eprintln!("usage: quality_report <out.json> [--degrade]");
+        eprintln!("{USAGE}");
         return ExitCode::FAILURE;
     };
+    if timings {
+        mtrl_obs::force_enable();
+    }
 
     let scenarios = quick_matrix();
     println!(
@@ -71,5 +83,14 @@ fn main() -> ExitCode {
         report.meta.git_sha,
         report.meta.target_features
     );
+    if timings {
+        let obs_path = format!("{out_path}.obs.json");
+        let manifest = mtrl_obs::export::manifest_json(mtrl_obs::global());
+        if let Err(e) = std::fs::write(&obs_path, manifest) {
+            eprintln!("cannot write {obs_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("[obs manifest written to {obs_path}]");
+    }
     ExitCode::SUCCESS
 }

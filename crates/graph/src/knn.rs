@@ -490,7 +490,12 @@ pub fn pnn_graph(data: &Mat, p: usize, scheme: WeightScheme) -> Csr {
 /// [`pnn_graph`] with an explicit worker-thread count; bit-identical
 /// output for every `threads` value.
 pub fn pnn_graph_with_threads(data: &Mat, p: usize, scheme: WeightScheme, threads: usize) -> Csr {
-    let neighbours = knn_indices_with_threads(data, p, threads);
+    let _span = mtrl_obs::span!("graph.pnn_build");
+    let neighbours = {
+        let _search_span = mtrl_obs::span!("graph.knn_search");
+        knn_indices_with_threads(data, p, threads)
+    };
+    let _weights_span = mtrl_obs::span!("graph.weights");
     graph_from_neighbours(data, &neighbours, scheme, threads)
 }
 

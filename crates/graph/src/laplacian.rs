@@ -36,6 +36,7 @@ const DEGREE_FLOOR: f64 = 1e-300;
 /// # Panics
 /// Panics if `w` is not square.
 pub fn laplacian_csr(w: &Csr, kind: LaplacianKind) -> Csr {
+    let _span = mtrl_obs::span!("graph.laplacian");
     assert_eq!(w.rows(), w.cols(), "laplacian of a non-square matrix");
     let n = w.rows();
     let degrees = w.row_sums();

@@ -1,0 +1,163 @@
+//! Scoped wall-time spans with nesting.
+//!
+//! `span!("graph.pnn_build")` returns a RAII guard; when it drops, the
+//! elapsed wall time lands in the global registry under the span's
+//! *path* — the slash-joined chain of every span open on this thread
+//! (`"rhchme.fit/graph.pnn_build"`), so nested timings roll up without
+//! any explicit parent plumbing. The per-thread name stack lives in a
+//! thread-local; closing is driven by `Drop`, so a panic unwinding
+//! through a scope still closes (and records) its span and restores the
+//! stack for whoever catches the panic.
+//!
+//! When observability is off ([`crate::enabled`] is false) `enter`
+//! returns an inert guard: one relaxed atomic load, no clock read, no
+//! thread-local touch.
+
+use std::cell::RefCell;
+use std::time::Instant;
+
+thread_local! {
+    static STACK: RefCell<Vec<&'static str>> = const { RefCell::new(Vec::new()) };
+}
+
+/// RAII guard for one timed scope. Create via [`Span::enter`] or the
+/// [`crate::span!`] macro.
+#[derive(Debug)]
+pub struct Span {
+    // (start time, our 1-based depth on the thread's stack); None when
+    // observability was off at entry.
+    active: Option<(Instant, usize)>,
+}
+
+impl Span {
+    /// Open a span named `name`. `name` becomes one path segment; the
+    /// recorded key is the slash-joined path of all open spans.
+    pub fn enter(name: &'static str) -> Span {
+        if !crate::enabled() {
+            return Span { active: None };
+        }
+        let depth = STACK.with(|s| {
+            let mut s = s.borrow_mut();
+            s.push(name);
+            s.len()
+        });
+        Span {
+            active: Some((Instant::now(), depth)),
+        }
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let Some((start, depth)) = self.active.take() else {
+            return;
+        };
+        let elapsed_ns = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        let path = STACK.with(|s| {
+            let mut s = s.borrow_mut();
+            // Out-of-order drops (guards held across each other's ends)
+            // can leave the stack shorter than our depth; join what's
+            // there and truncate to our parent either way.
+            let upto = depth.min(s.len());
+            let path = s[..upto].join("/");
+            s.truncate(depth.saturating_sub(1));
+            path
+        });
+        if !path.is_empty() {
+            crate::global().record_span(&path, elapsed_ns);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_lock;
+
+    #[test]
+    fn nested_spans_record_slash_paths() {
+        let _guard = test_lock();
+        crate::force_enable();
+        crate::global().reset();
+        {
+            let _outer = Span::enter("outer");
+            {
+                let _inner = Span::enter("inner");
+            }
+            {
+                let _inner2 = Span::enter("inner");
+            }
+        }
+        let spans = crate::global().spans_snapshot();
+        let paths: Vec<_> = spans.iter().map(|(p, _)| p.as_str()).collect();
+        assert_eq!(paths, ["outer", "outer/inner"]);
+        let inner = spans.iter().find(|(p, _)| p == "outer/inner").unwrap();
+        assert_eq!(inner.1.count, 2);
+        let outer = spans.iter().find(|(p, _)| p == "outer").unwrap();
+        assert_eq!(outer.1.count, 1);
+        assert!(outer.1.total_ns >= inner.1.total_ns);
+    }
+
+    #[test]
+    fn disabled_spans_are_inert() {
+        let _guard = test_lock();
+        crate::force_disable();
+        crate::global().reset();
+        {
+            let _s = Span::enter("ghost");
+        }
+        assert!(crate::global().spans_snapshot().is_empty());
+        crate::force_enable();
+    }
+
+    #[test]
+    fn panicking_scope_still_closes_its_span() {
+        let _guard = test_lock();
+        crate::force_enable();
+        crate::global().reset();
+        // The panic unwinds on a scratch thread so this test's own
+        // thread-local stack is untouched.
+        let handle = std::thread::spawn(|| {
+            let _outer = Span::enter("job");
+            let _inner = Span::enter("step");
+            panic!("boom");
+        });
+        assert!(handle.join().is_err());
+        let spans = crate::global().spans_snapshot();
+        let paths: Vec<_> = spans.iter().map(|(p, _)| p.as_str()).collect();
+        assert_eq!(paths, ["job", "job/step"]);
+    }
+
+    #[test]
+    fn stack_recovers_after_caught_panic_on_same_thread() {
+        let _guard = test_lock();
+        crate::force_enable();
+        crate::global().reset();
+        let caught = std::panic::catch_unwind(|| {
+            let _s = Span::enter("fragile");
+            panic!("inner failure");
+        });
+        assert!(caught.is_err());
+        // The unwound span restored the stack: a fresh span records at
+        // top level, not under "fragile".
+        {
+            let _s = Span::enter("after");
+        }
+        let spans = crate::global().spans_snapshot();
+        let paths: Vec<_> = spans.iter().map(|(p, _)| p.as_str()).collect();
+        assert_eq!(paths, ["after", "fragile"]);
+    }
+
+    #[test]
+    fn macro_form_compiles_and_records() {
+        let _guard = test_lock();
+        crate::force_enable();
+        crate::global().reset();
+        {
+            let _s = crate::span!("macro.scope");
+        }
+        let spans = crate::global().spans_snapshot();
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].0, "macro.scope");
+    }
+}

@@ -7,14 +7,20 @@
 //! that want synchronous behaviour use [`ServeEngine::assign`].
 //!
 //! Counters: every processed batch bumps request/document/latency
-//! counters (atomics — the hot path takes no lock except the brief
-//! receiver lock to pop a job), exposed as a [`StatsSnapshot`].
+//! counters and a log-bucketed latency histogram (atomics — the hot
+//! path takes no lock except the brief receiver lock to pop a job),
+//! exposed as a [`StatsSnapshot`] with p50/p99/max extraction. When
+//! `MTRL_OBS` is on, the same observations are mirrored into the
+//! global `mtrl-obs` registry under `serve.requests`,
+//! `serve.documents`, `serve.errors` (counters) and
+//! `serve.latency_ns`, `serve.busy_ns` (histograms).
 //!
 //! Shutdown: dropping the engine closes the queue, lets the workers
 //! drain what they already accepted, and joins them.
 
 use crate::assign::{Assigner, SparseVec};
 use crate::error::ServeError;
+use mtrl_obs::{Histogram, HistogramSnapshot};
 use rhchme::export::FittedModel;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -69,10 +75,14 @@ struct Counters {
     errors: AtomicU64,
     busy_nanos: AtomicU64,
     latency_nanos: AtomicU64,
+    // Always-on (independent of MTRL_OBS): recording is a handful of
+    // relaxed atomic bumps, and p50/p99 must be available from
+    // `stats()` unconditionally.
+    latency_hist: Histogram,
 }
 
 /// Point-in-time view of the engine counters.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct StatsSnapshot {
     /// Successfully processed requests.
     pub requests: u64,
@@ -84,16 +94,34 @@ pub struct StatsSnapshot {
     pub busy: Duration,
     /// Total submission-to-completion latency (sum over requests).
     pub total_latency: Duration,
+    /// Per-request submission-to-completion latency distribution
+    /// (nanoseconds); source for [`StatsSnapshot::quantile`].
+    pub latency: HistogramSnapshot,
 }
 
 impl StatsSnapshot {
     /// Mean submission-to-completion latency per request.
+    #[deprecated(
+        since = "0.1.0",
+        note = "the mean hides tail latency; use `quantile(0.5)` / `quantile(0.99)`"
+    )]
     pub fn mean_latency(&self) -> Duration {
         if self.requests == 0 {
             Duration::ZERO
         } else {
             self.total_latency.div_f64(self.requests as f64)
         }
+    }
+
+    /// Latency quantile (`q ∈ [0, 1]`), e.g. `quantile(0.99)` for p99.
+    /// Resolution is one histogram bucket (≤ ~3.2% relative error).
+    pub fn quantile(&self, q: f64) -> Duration {
+        Duration::from_nanos(self.latency.quantile(q))
+    }
+
+    /// Slowest observed request.
+    pub fn max_latency(&self) -> Duration {
+        Duration::from_nanos(self.latency.max())
     }
 
     /// Documents per second of worker compute time.
@@ -258,6 +286,7 @@ impl ServeEngine {
             errors: c.errors.load(Ordering::Relaxed),
             busy: Duration::from_nanos(c.busy_nanos.load(Ordering::Relaxed)),
             total_latency: Duration::from_nanos(c.latency_nanos.load(Ordering::Relaxed)),
+            latency: c.latency_hist.snapshot(),
         }
     }
 
@@ -291,6 +320,7 @@ fn worker_loop(inner: &Inner) {
         let busy = started.elapsed();
         let latency = job.submitted.elapsed();
         let c = &inner.counters;
+        let obs = mtrl_obs::enabled();
         match &result {
             Ok(response) => {
                 c.requests.fetch_add(1, Ordering::Relaxed);
@@ -300,9 +330,20 @@ fn worker_loop(inner: &Inner) {
                     .fetch_add(busy.as_nanos() as u64, Ordering::Relaxed);
                 c.latency_nanos
                     .fetch_add(latency.as_nanos() as u64, Ordering::Relaxed);
+                c.latency_hist.record_duration(latency);
+                if obs {
+                    let reg = mtrl_obs::global();
+                    reg.add("serve.requests", 1);
+                    reg.add("serve.documents", response.posteriors.len() as u64);
+                    reg.histogram("serve.latency_ns").record_duration(latency);
+                    reg.histogram("serve.busy_ns").record_duration(busy);
+                }
             }
             Err(_) => {
                 c.errors.fetch_add(1, Ordering::Relaxed);
+                if obs {
+                    mtrl_obs::global().add("serve.errors", 1);
+                }
             }
         }
         // The caller may have dropped its handle; that is fine.
@@ -364,6 +405,36 @@ mod tests {
         assert_eq!(stats.requests, 1);
         assert_eq!(stats.documents, 10);
         assert_eq!(stats.errors, 0);
+        assert_eq!(stats.latency.count(), 1);
+        assert!(stats.quantile(0.5) > Duration::ZERO);
+        assert!(stats.max_latency() >= stats.quantile(0.5));
+    }
+
+    #[test]
+    fn latency_quantiles_are_ordered_and_bounded() {
+        let engine = engine_with_model("m", 62);
+        for _ in 0..24 {
+            engine.assign("m", 0, some_docs(2)).unwrap();
+        }
+        let stats = engine.stats();
+        assert_eq!(stats.latency.count(), 24);
+        let (p50, p90, p99) = (
+            stats.quantile(0.5),
+            stats.quantile(0.9),
+            stats.quantile(0.99),
+        );
+        assert!(Duration::ZERO < p50 && p50 <= p90 && p90 <= p99);
+        assert!(p99 <= stats.max_latency());
+        assert!(stats.max_latency() <= stats.total_latency);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn mean_latency_stays_for_backward_compat() {
+        let engine = engine_with_model("m", 63);
+        engine.assign("m", 0, some_docs(4)).unwrap();
+        let stats = engine.stats();
+        assert_eq!(stats.mean_latency(), stats.total_latency);
         assert!(stats.mean_latency() > Duration::ZERO);
     }
 

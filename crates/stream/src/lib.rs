@@ -69,7 +69,10 @@ pub mod warm;
 
 pub use dynamic::{DynamicGraph, DynamicGraphConfig, InsertReport};
 pub use error::StreamError;
-pub use session::{PushReport, RefitReport, RefitTrigger, RefreshPolicy, StreamSession};
+pub use session::{
+    BatchTelemetry, PushReport, RefitReport, RefitTrigger, RefreshDecision, RefreshPolicy,
+    SessionTelemetry, StreamSession,
+};
 pub use warm::{grown_survivors, warm_membership, warm_membership_opts, SurvivorMap, WarmOptions};
 
 /// Result alias for this crate.

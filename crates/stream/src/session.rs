@@ -129,6 +129,80 @@ pub struct PushReport {
     pub refit: Option<RefitReport>,
 }
 
+/// What the refresh policy decided for one pushed batch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RefreshDecision {
+    /// A refit ran, for this reason.
+    Refit(RefitTrigger),
+    /// Confidence fell below the drift floor, but the cooldown
+    /// suppressed the refit.
+    CooldownSuppressed,
+    /// No trigger fired.
+    NoTrigger,
+}
+
+/// Per-batch observables of one [`StreamSession::push_batch`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BatchTelemetry {
+    /// 1-based batch index over the session's lifetime.
+    pub batch: usize,
+    /// Documents in the batch.
+    pub docs: usize,
+    /// Mean fold-in max-posterior under the pre-push model.
+    pub mean_confidence: f64,
+    /// The policy's decision for this batch.
+    pub decision: RefreshDecision,
+}
+
+/// Accumulated session telemetry, exposed by
+/// [`StreamSession::telemetry`] — the machine-readable version of what
+/// `stream_demo` used to print. Always tracked (it is a handful of
+/// counters and one small struct per batch), independent of `MTRL_OBS`.
+#[derive(Debug, Clone, Default)]
+pub struct SessionTelemetry {
+    /// One entry per pushed batch, in order.
+    pub batches: Vec<BatchTelemetry>,
+    /// Refits triggered by the confidence floor.
+    pub drift_refits: usize,
+    /// Refits triggered by the batch cadence.
+    pub cadence_refits: usize,
+    /// Refits forced via [`StreamSession::refit_now`].
+    pub manual_refits: usize,
+    /// Warm refits that ran with partial reseeding enabled
+    /// ([`RefreshPolicy::reseed_confidence`] set).
+    pub reseed_refits: usize,
+    /// Warm refits on the plain (no-reseed) path.
+    pub plain_warm_refits: usize,
+    /// Multiplicative-update iterations summed over all warm refits
+    /// (each capped at [`RefreshPolicy::warm_iters`]).
+    pub total_warm_iterations: usize,
+    /// Models hot-swapped into an attached [`ServeEngine`].
+    pub hot_swaps: usize,
+}
+
+impl SessionTelemetry {
+    /// Total refits, over all triggers.
+    pub fn total_refits(&self) -> usize {
+        self.drift_refits + self.cadence_refits + self.manual_refits
+    }
+
+    /// Batches whose drift trigger was suppressed by the cooldown.
+    pub fn cooldown_suppressed(&self) -> usize {
+        self.batches
+            .iter()
+            .filter(|b| b.decision == RefreshDecision::CooldownSuppressed)
+            .count()
+    }
+}
+
+fn trigger_name(trigger: RefitTrigger) -> &'static str {
+    match trigger {
+        RefitTrigger::Cadence => "cadence",
+        RefitTrigger::Drift => "drift",
+        RefitTrigger::Manual => "manual",
+    }
+}
+
 /// A live streaming session over one growing corpus.
 pub struct StreamSession {
     rhchme: Rhchme,
@@ -140,6 +214,7 @@ pub struct StreamSession {
     engine: Option<(Arc<ServeEngine>, String)>,
     batches_since_refit: usize,
     total_batches: usize,
+    telemetry: SessionTelemetry,
 }
 
 impl StreamSession {
@@ -177,6 +252,7 @@ impl StreamSession {
             engine: None,
             batches_since_refit: 0,
             total_batches: 0,
+            telemetry: SessionTelemetry::default(),
         })
     }
 
@@ -224,6 +300,13 @@ impl StreamSession {
         self.batches_since_refit
     }
 
+    /// Accumulated session telemetry: per-batch fold-in confidence and
+    /// refresh decisions, refit counts by trigger, warm-vs-reseed
+    /// split, warm-iteration totals and hot-swap count.
+    pub fn telemetry(&self) -> &SessionTelemetry {
+        &self.telemetry
+    }
+
     /// Ingest one batch: fold in (serving answer), append to the
     /// corpus, update the document graph, and refit if the policy says
     /// so.
@@ -232,6 +315,7 @@ impl StreamSession {
     /// Propagates fold-in and refit errors; a batch with mismatched
     /// per-document row counts is rejected as [`StreamError::Invalid`].
     pub fn push_batch(&mut self, batch: &StreamBatch) -> Result<PushReport, StreamError> {
+        let _span = mtrl_obs::span!("stream.push_batch");
         if batch.doc_term.len() != batch.len() || batch.doc_concept.len() != batch.len() {
             return Err(StreamError::Invalid(format!(
                 "batch rows mismatch: {} terms / {} concepts / {} labels",
@@ -283,21 +367,45 @@ impl StreamSession {
         // 3. Policy. The drift trigger honours the cooldown (counted in
         // batches since the last refit of any kind); the cadence
         // trigger does not.
-        let drift = self.batches_since_refit > self.policy.drift_cooldown
-            && self
-                .policy
-                .min_confidence
-                .is_some_and(|floor| mean_confidence < floor);
+        let below_floor = self
+            .policy
+            .min_confidence
+            .is_some_and(|floor| mean_confidence < floor);
+        let drift = below_floor && self.batches_since_refit > self.policy.drift_cooldown;
         let cadence = self
             .policy
             .every_batches
             .is_some_and(|k| self.batches_since_refit >= k);
-        let refit = if drift {
-            Some(self.refit(RefitTrigger::Drift)?)
+        let decision = if drift {
+            RefreshDecision::Refit(RefitTrigger::Drift)
         } else if cadence {
-            Some(self.refit(RefitTrigger::Cadence)?)
+            RefreshDecision::Refit(RefitTrigger::Cadence)
+        } else if below_floor {
+            RefreshDecision::CooldownSuppressed
         } else {
-            None
+            RefreshDecision::NoTrigger
+        };
+        self.telemetry.batches.push(BatchTelemetry {
+            batch: self.total_batches,
+            docs: batch.len(),
+            mean_confidence,
+            decision,
+        });
+        if mtrl_obs::enabled() {
+            let reg = mtrl_obs::global();
+            reg.add("stream.batches", 1);
+            reg.set_gauge("stream.last_confidence", mean_confidence);
+            if drift {
+                reg.record_event(mtrl_obs::StreamEvent {
+                    kind: "drift_trigger".to_string(),
+                    label: format!("batch {}", self.total_batches),
+                    value: mean_confidence,
+                });
+            }
+        }
+        let refit = match decision {
+            RefreshDecision::Refit(trigger) => Some(self.refit(trigger)?),
+            _ => None,
         };
         Ok(PushReport {
             labels,
@@ -316,6 +424,7 @@ impl StreamSession {
 
     /// The warm mini-batch refresh (step 4 of the module docs).
     fn refit(&mut self, trigger: RefitTrigger) -> Result<RefitReport, StreamError> {
+        let _span = mtrl_obs::span!("stream.refit");
         let cfg = self.rhchme.config().clone();
         let data = MultiTypeData::from_corpus(&self.corpus, cfg.feature_cluster_divisor)?;
 
@@ -366,15 +475,57 @@ impl StreamSession {
         // (ServeEngine::register_shared replaces in one map insert;
         // in-flight requests finish on the old model).
         self.assigner = Arc::new(Assigner::new(model)?);
-        if let Some((engine, name)) = &self.engine {
+        let swapped = if let Some((engine, name)) = &self.engine {
             engine.register_shared(name.clone(), Arc::clone(&self.assigner));
-        }
+            true
+        } else {
+            false
+        };
         let report = RefitReport {
             trigger,
             iterations: result.iterations,
             final_objective: *result.objective_trace.last().unwrap_or(&f64::NAN),
             corpus_docs: self.corpus.num_docs(),
         };
+        match trigger {
+            RefitTrigger::Cadence => self.telemetry.cadence_refits += 1,
+            RefitTrigger::Drift => self.telemetry.drift_refits += 1,
+            RefitTrigger::Manual => self.telemetry.manual_refits += 1,
+        }
+        if self.policy.reseed_confidence.is_some() {
+            self.telemetry.reseed_refits += 1;
+        } else {
+            self.telemetry.plain_warm_refits += 1;
+        }
+        self.telemetry.total_warm_iterations += result.iterations;
+        if swapped {
+            self.telemetry.hot_swaps += 1;
+        }
+        if mtrl_obs::enabled() {
+            let reg = mtrl_obs::global();
+            reg.add(&format!("stream.refit.{}", trigger_name(trigger)), 1);
+            if self.policy.reseed_confidence.is_some() {
+                reg.add("stream.reseed_refits", 1);
+            }
+            reg.set_gauge("stream.warm_iter_budget", self.policy.warm_iters as f64);
+            reg.record_event(mtrl_obs::StreamEvent {
+                kind: "refit".to_string(),
+                label: trigger_name(trigger).to_string(),
+                value: result.iterations as f64,
+            });
+            if swapped {
+                reg.add("stream.hot_swap", 1);
+                reg.record_event(mtrl_obs::StreamEvent {
+                    kind: "hot_swap".to_string(),
+                    label: self
+                        .engine
+                        .as_ref()
+                        .map(|(_, name)| name.clone())
+                        .unwrap_or_default(),
+                    value: self.corpus.num_docs() as f64,
+                });
+            }
+        }
         self.last_result = result;
         self.batches_since_refit = 0;
         Ok(report)
@@ -502,6 +653,61 @@ mod tests {
         assert!(engine
             .assign("live", 0, vec![SparseVec::from_dense(&[0.5; 120])])
             .is_ok());
+        let tel = session.telemetry();
+        assert_eq!(tel.batches.len(), 2);
+        assert_eq!(tel.batches[0].decision, RefreshDecision::NoTrigger);
+        assert_eq!(
+            tel.batches[1].decision,
+            RefreshDecision::Refit(RefitTrigger::Cadence)
+        );
+        assert_eq!(tel.cadence_refits, 1);
+        assert_eq!(tel.plain_warm_refits, 1);
+        assert_eq!(tel.hot_swaps, 1);
+        assert!(tel.total_warm_iterations >= 1 && tel.total_warm_iterations <= 8);
+    }
+
+    #[test]
+    fn telemetry_tracks_decisions_and_refit_counts() {
+        let (initial, batches) = generate_stream(&stream_cfg());
+        let mut session = StreamSession::new(
+            initial,
+            fast_rhchme(),
+            RefreshPolicy {
+                every_batches: None,
+                // A floor above 1.0 marks every batch "below floor", so
+                // the cooldown interaction is deterministic.
+                min_confidence: Some(2.0),
+                drift_cooldown: 1,
+                warm_iters: 5,
+                refresh_subspace: false,
+                reseed_confidence: None,
+            },
+        )
+        .unwrap();
+        let r1 = session.push_batch(&batches[0]).unwrap();
+        assert!(r1.refit.is_none(), "cooldown must suppress the first push");
+        let r2 = session.push_batch(&batches[1]).unwrap();
+        assert_eq!(r2.refit.expect("drift refit").trigger, RefitTrigger::Drift);
+        session.refit_now().unwrap();
+        let tel = session.telemetry();
+        assert_eq!(tel.batches.len(), 2);
+        assert_eq!(tel.batches[0].decision, RefreshDecision::CooldownSuppressed);
+        assert_eq!(
+            tel.batches[1].decision,
+            RefreshDecision::Refit(RefitTrigger::Drift)
+        );
+        assert_eq!(tel.batches[0].batch, 1);
+        assert_eq!(tel.batches[0].docs, 6);
+        assert!(tel.batches[0].mean_confidence > 0.0);
+        assert_eq!(tel.drift_refits, 1);
+        assert_eq!(tel.manual_refits, 1);
+        assert_eq!(tel.cadence_refits, 0);
+        assert_eq!(tel.total_refits(), 2);
+        assert_eq!(tel.cooldown_suppressed(), 1);
+        assert_eq!(tel.plain_warm_refits, 2);
+        assert_eq!(tel.reseed_refits, 0);
+        assert_eq!(tel.hot_swaps, 0, "no engine attached");
+        assert!(tel.total_warm_iterations >= 2);
     }
 
     #[test]

@@ -86,10 +86,13 @@ fn main() {
     }
     let stats = engine.stats();
     println!(
-        "served {} docs in {} requests: mean latency {:?}, {:.0} docs/s of worker time",
+        "served {} docs in {} requests: latency p50 {:?} / p99 {:?} / max {:?}, \
+         {:.0} docs/s of worker time",
         stats.documents,
         stats.requests,
-        stats.mean_latency(),
+        stats.quantile(0.5),
+        stats.quantile(0.99),
+        stats.max_latency(),
         stats.throughput()
     );
 

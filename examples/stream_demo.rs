@@ -150,6 +150,57 @@ fn main() {
          F {f_during_drift:.3} (confidence {drift_conf:.3}) and triggered the warm refit"
     );
 
+    // The session's own accounting of the same story.
+    let telemetry = session.telemetry();
+    println!(
+        "session telemetry: {} batches, {} drift / {} cadence / {} manual refits \
+         ({} suppressed by cooldown), {} reseed vs {} plain-warm, \
+         {} warm iterations total, {} hot swaps",
+        telemetry.batches.len(),
+        telemetry.drift_refits,
+        telemetry.cadence_refits,
+        telemetry.manual_refits,
+        telemetry.cooldown_suppressed(),
+        telemetry.reseed_refits,
+        telemetry.plain_warm_refits,
+        telemetry.total_warm_iterations,
+        telemetry.hot_swaps
+    );
+    for b in &telemetry.batches {
+        if let RefreshDecision::Refit(trigger) = b.decision {
+            println!(
+                "  batch {}: confidence {:.3} -> {:?} refit",
+                b.batch, b.mean_confidence, trigger
+            );
+        }
+    }
+    assert!(
+        telemetry.drift_refits >= 1,
+        "the drop must be recorded as a drift refit"
+    );
+
+    // Serve the final batch through the live engine — the model answering
+    // is the hot-swapped warm refit, and the engine's histogram gives the
+    // true latency quantiles of the request stream.
+    let last = batches.last().expect("stream has batches");
+    let docs: Vec<SparseVec> = (0..last.len())
+        .map(|i| {
+            let (idx, vals) = last.feature_row(i, num_terms);
+            SparseVec::new(idx, vals).expect("batch doc")
+        })
+        .collect();
+    engine
+        .assign("live", 0, docs)
+        .expect("serve through live engine");
+    let serve_stats = engine.stats();
+    println!(
+        "live engine: {} docs in {} requests, latency p50 {:?} / p99 {:?}\n",
+        serve_stats.documents,
+        serve_stats.requests,
+        serve_stats.quantile(0.5),
+        serve_stats.quantile(0.99)
+    );
+
     // Post-drift recovery, scored on the drifted batches against the
     // warm-refreshed model (the one now live in the engine).
     let warm_assigner = Assigner::new(session.model().clone()).expect("warm model");

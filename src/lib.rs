@@ -16,6 +16,7 @@ pub use mtrl_eval as eval;
 pub use mtrl_graph as graph;
 pub use mtrl_linalg as linalg;
 pub use mtrl_metrics as metrics;
+pub use mtrl_obs as obs;
 pub use mtrl_serve as serve;
 pub use mtrl_sparse as sparse;
 pub use mtrl_stream as stream;
@@ -38,8 +39,8 @@ pub mod prelude {
         StatsSnapshot,
     };
     pub use mtrl_stream::{
-        DynamicGraph, DynamicGraphConfig, PushReport, RefitReport, RefitTrigger, RefreshPolicy,
-        StreamError, StreamSession,
+        BatchTelemetry, DynamicGraph, DynamicGraphConfig, PushReport, RefitReport, RefitTrigger,
+        RefreshDecision, RefreshPolicy, SessionTelemetry, StreamError, StreamSession,
     };
     pub use rhchme::pipeline::{run_method, Method, MethodOutput, PipelineParams};
     pub use rhchme::rhchme::{Rhchme, RhchmeConfig, RhchmeResult, WarmStart};
