@@ -77,11 +77,7 @@ fn bench_engine_round_trip(c: &mut Criterion) {
     group.bench_function("submit_wait_batch64", |bencher| {
         bencher.iter(|| {
             engine
-                .submit(AssignRequest {
-                    model: "bench".into(),
-                    type_index: 0,
-                    docs: docs.clone(),
-                })
+                .submit(AssignRequest::new("bench").docs(docs.clone()))
                 .wait()
                 .unwrap()
         });
@@ -92,6 +88,12 @@ fn bench_engine_round_trip(c: &mut Criterion) {
 fn bench_persistence(c: &mut Criterion) {
     let model = fitted_model();
     let json = persist::to_json(&model).expect("serialize");
+    let bytes = persist::to_bytes(&model).expect("serialize binary");
+    // The load paths must agree before their speeds are compared.
+    assert_eq!(
+        persist::from_json(&json).unwrap().content_digest(),
+        persist::from_bytes(&bytes).unwrap().content_digest()
+    );
     let mut group = c.benchmark_group("persist");
     group.sample_size(10);
     group.bench_function("to_json", |bencher| {
@@ -99,6 +101,12 @@ fn bench_persistence(c: &mut Criterion) {
     });
     group.bench_function("from_json_verified", |bencher| {
         bencher.iter(|| persist::from_json(black_box(&json)).unwrap());
+    });
+    group.bench_function("to_binary", |bencher| {
+        bencher.iter(|| persist::to_bytes(black_box(&model)).unwrap());
+    });
+    group.bench_function("from_binary_verified", |bencher| {
+        bencher.iter(|| persist::from_bytes(black_box(&bytes)).unwrap());
     });
     group.finish();
 }

@@ -8,24 +8,30 @@
 //! The run is the observability layer's end-to-end exercise: a cold
 //! RHCHME fit on an eval-shape corpus (engine per-iteration telemetry,
 //! graph-build and fit spans), a fold-in pass of the held-out documents
-//! through a live [`mtrl_serve::ServeEngine`] (latency histograms), and
-//! a short drifting stream session with a confidence floor that
-//! deterministically trips the drift trigger (stream events, refit
-//! counters). Everything lands in one `mtrl-obs-manifest/v1` JSON;
-//! `--prom` additionally writes the same registry as a Prometheus
-//! text-format dump.
+//! through a live [`mtrl_serve::ServeEngine`] (latency histograms), an
+//! HTTP flood through a deliberately tiny [`mtrl_gateway::Gateway`]
+//! (request/shed/coalesce/byte counters), and a short drifting stream
+//! session with a confidence floor that deterministically trips the
+//! drift trigger (stream events, refit counters). Everything lands in
+//! one `mtrl-obs-manifest/v1` JSON; `--prom` additionally writes the
+//! same registry as a Prometheus text-format dump. The run fails if
+//! the manifest is missing any `gateway.*` counter.
 
 use mtrl_datagen::split_corpus;
 use mtrl_datagen::stream::{generate_stream, StreamConfig};
 use mtrl_eval::{quick_params, rhchme_config, CorpusShape};
+use mtrl_gateway::{Gateway, GatewayConfig};
 use mtrl_serve::{AssignRequest, ServeEngine, SparseVec};
 use mtrl_stream::{RefreshPolicy, StreamSession};
 use rhchme::rhchme::Rhchme;
+use std::io::{Read, Write};
 use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::Duration;
 
 const USAGE: &str = "usage: obs_report <manifest.json> [--prom <metrics.prom>]";
 
-fn serve_leg() -> Result<(), String> {
+fn serve_leg() -> Result<Arc<ServeEngine>, String> {
     let params = quick_params(11);
     let mut config = CorpusShape::Balanced3.config();
     config.seed = 11;
@@ -37,7 +43,7 @@ fn serve_leg() -> Result<(), String> {
         .export_model(&result, &train)
         .map_err(|e| e.to_string())?;
 
-    let engine = ServeEngine::new(2);
+    let engine = Arc::new(ServeEngine::new(2));
     engine.register("obs", model).map_err(|e| e.to_string())?;
     let docs: Vec<SparseVec> = heldout
         .iter()
@@ -46,13 +52,7 @@ fn serve_leg() -> Result<(), String> {
         .map_err(|e| e.to_string())?;
     let pending: Vec<_> = docs
         .chunks(8)
-        .map(|chunk| {
-            engine.submit(AssignRequest {
-                model: "obs".into(),
-                type_index: 0,
-                docs: chunk.to_vec(),
-            })
-        })
+        .map(|chunk| engine.submit(AssignRequest::new("obs").docs(chunk.to_vec())))
         .collect();
     for p in pending {
         p.wait().map_err(|e| e.to_string())?;
@@ -66,6 +66,93 @@ fn serve_leg() -> Result<(), String> {
         stats.quantile(0.99),
         stats.max_latency()
     );
+    Ok(engine)
+}
+
+/// One-shot HTTP POST of a single-doc assign; returns the status code.
+fn gateway_post(addr: std::net::SocketAddr) -> Result<u16, String> {
+    let body = r#"{"docs":[{"indices":[1,3],"values":[1.0,0.5]}]}"#;
+    let mut stream = std::net::TcpStream::connect(addr).map_err(|e| e.to_string())?;
+    write!(
+        stream,
+        "POST /v1/models/obs/assign HTTP/1.1\r\ncontent-length: {}\r\n\
+         connection: close\r\n\r\n{body}",
+        body.len()
+    )
+    .map_err(|e| e.to_string())?;
+    let mut response = String::new();
+    stream
+        .read_to_string(&mut response)
+        .map_err(|e| e.to_string())?;
+    response
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| format!("malformed response: {response:?}"))
+}
+
+/// Flood a deliberately tiny gateway over loopback HTTP so every
+/// `gateway.*` counter moves: the 10 ms service delay stalls dispatch,
+/// so concurrent arrivals first fill the 2-slot queue (one coalesced
+/// batch) and then shed with 429.
+fn gateway_leg(engine: Arc<ServeEngine>) -> Result<(), String> {
+    let gateway = Gateway::bind(
+        engine,
+        GatewayConfig {
+            wait_window: Duration::from_millis(5),
+            queue_capacity: 2,
+            service_delay: Some(Duration::from_millis(10)),
+            ..GatewayConfig::default()
+        },
+    )
+    .map_err(|e| e.to_string())?;
+    let addr = gateway.addr();
+
+    // The flood is overwhelmingly likely to both coalesce and shed in
+    // one round; retry a few times so scheduler jitter cannot leave a
+    // counter at zero.
+    for _ in 0..5 {
+        let clients: Vec<_> = (0..8)
+            .map(|_| std::thread::spawn(move || gateway_post(addr)))
+            .collect();
+        for c in clients {
+            let status = c.join().map_err(|_| "client panicked")??;
+            if status != 200 && status != 429 {
+                return Err(format!("unexpected gateway status {status}"));
+            }
+        }
+        let stats = gateway.stats();
+        if stats.shed > 0 && stats.coalesced_batches > 0 {
+            break;
+        }
+    }
+
+    let stats = gateway.stats();
+    println!(
+        "gateway leg: {} requests, {} shed, {} coalesced batches, {} bytes, \
+         latency p50 {:?} / p99 {:?}",
+        stats.requests,
+        stats.shed,
+        stats.coalesced_batches,
+        stats.bytes,
+        stats.quantile(0.5),
+        stats.quantile(0.99)
+    );
+
+    let counters: std::collections::HashMap<String, u64> =
+        mtrl_obs::global().counters_snapshot().into_iter().collect();
+    for key in [
+        "gateway.requests",
+        "gateway.shed",
+        "gateway.coalesced_batches",
+        "gateway.bytes",
+    ] {
+        if counters.get(key).copied().unwrap_or(0) == 0 {
+            return Err(format!(
+                "obs counter {key} missing or zero after gateway leg"
+            ));
+        }
+    }
     Ok(())
 }
 
@@ -151,7 +238,10 @@ fn main() -> ExitCode {
 
     mtrl_obs::force_enable();
     let t0 = std::time::Instant::now();
-    if let Err(e) = serve_leg().and_then(|()| stream_leg()) {
+    if let Err(e) = serve_leg()
+        .and_then(gateway_leg)
+        .and_then(|()| stream_leg())
+    {
         eprintln!("obs run failed: {e}");
         return ExitCode::FAILURE;
     }

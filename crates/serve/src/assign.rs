@@ -31,20 +31,18 @@ impl SparseVec {
     /// Build from parallel index/value slices.
     ///
     /// # Errors
-    /// Returns [`ServeError::InvalidRequest`] when lengths differ or a
+    /// Returns [`ServeError::BadRequest`] when lengths differ or a
     /// value is non-finite.
     pub fn new(indices: Vec<usize>, values: Vec<f64>) -> Result<Self, ServeError> {
         if indices.len() != values.len() {
-            return Err(ServeError::InvalidRequest(format!(
+            return Err(ServeError::BadRequest(format!(
                 "{} indices with {} values",
                 indices.len(),
                 values.len()
             )));
         }
         if values.iter().any(|v| !v.is_finite()) {
-            return Err(ServeError::InvalidRequest(
-                "non-finite feature value".into(),
-            ));
+            return Err(ServeError::BadRequest("non-finite feature value".into()));
         }
         Ok(SparseVec { indices, values })
     }
@@ -130,18 +128,18 @@ impl Assigner {
     /// entropy is the honest answer to "no evidence".
     ///
     /// # Errors
-    /// Returns [`ServeError::InvalidRequest`] for a bad type index or an
+    /// Returns [`ServeError::BadRequest`] for a bad type index or an
     /// index beyond the type's feature dimension.
     pub fn assign(&self, type_index: usize, x: &SparseVec) -> Result<Vec<f64>, ServeError> {
         let k = self.model.num_types();
         if type_index >= k {
-            return Err(ServeError::InvalidRequest(format!(
+            return Err(ServeError::BadRequest(format!(
                 "type index {type_index} out of range (model has {k} types)"
             )));
         }
         let dim = self.model.feature_dims[type_index];
         if let Some(&bad) = x.indices.iter().find(|&&j| j >= dim) {
-            return Err(ServeError::InvalidRequest(format!(
+            return Err(ServeError::BadRequest(format!(
                 "feature index {bad} out of range (type {type_index} has dimension {dim})"
             )));
         }
@@ -245,11 +243,11 @@ mod tests {
         let assigner = Assigner::new(model).unwrap();
         assert!(matches!(
             assigner.assign(9, &SparseVec::from_dense(&[1.0])),
-            Err(ServeError::InvalidRequest(_))
+            Err(ServeError::BadRequest(_))
         ));
         assert!(matches!(
             assigner.assign(0, &SparseVec::new(vec![dim0], vec![1.0]).unwrap()),
-            Err(ServeError::InvalidRequest(_))
+            Err(ServeError::BadRequest(_))
         ));
         assert!(SparseVec::new(vec![0], vec![]).is_err());
         assert!(SparseVec::new(vec![0], vec![f64::NAN]).is_err());

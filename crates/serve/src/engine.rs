@@ -2,9 +2,31 @@
 //!
 //! [`ServeEngine`] owns a registry of named fitted models and a pool of
 //! std-only worker threads draining [`AssignRequest`] batches from an
-//! mpsc queue. Requests are submitted without blocking ([`
-//! ServeEngine::submit`] returns a [`PendingAssign`] handle); callers
-//! that want synchronous behaviour use [`ServeEngine::assign`].
+//! mpsc queue. Requests are submitted without blocking
+//! ([`ServeEngine::submit`] returns a [`PendingAssign`] handle); callers
+//! that want synchronous behaviour use [`ServeEngine::assign`], a thin
+//! wrapper over `submit(...).wait()`.
+//!
+//! # One request shape for every caller
+//!
+//! [`AssignRequest`] is a builder and it is the *only* request shape in
+//! the system: in-process callers hand it to [`ServeEngine::submit`],
+//! and the network gateway (`mtrl-gateway`) parses its wire JSON into
+//! the same builder before handing it to the same engine. Model name,
+//! object type, document batch, batch hint and deadline therefore mean
+//! exactly the same thing on both paths, and failures surface as the
+//! same [`ServeError`] taxonomy (see `error` module docs for the 1:1
+//! HTTP status mapping).
+//!
+//! # Admission control
+//!
+//! An engine built with [`ServeEngine::with_queue_capacity`] bounds its
+//! queue: a submit that would exceed the bound is *shed* — the handle
+//! resolves immediately to [`ServeError::Overloaded`] with a retry
+//! hint, and nothing is enqueued (memory stays bounded under overload).
+//! A request whose [`AssignRequest::deadline_at`] has passed by the
+//! time a worker picks it up resolves to [`ServeError::Deadline`]
+//! without being processed. Both count into the `shed` statistic.
 //!
 //! Counters: every processed batch bumps request/document/latency
 //! counters and a log-bucketed latency histogram (atomics — the hot
@@ -12,7 +34,7 @@
 //! exposed as a [`StatsSnapshot`] with p50/p99/max extraction. When
 //! `MTRL_OBS` is on, the same observations are mirrored into the
 //! global `mtrl-obs` registry under `serve.requests`,
-//! `serve.documents`, `serve.errors` (counters) and
+//! `serve.documents`, `serve.errors`, `serve.shed` (counters) and
 //! `serve.latency_ns`, `serve.busy_ns` (histograms).
 //!
 //! Shutdown: dropping the engine closes the queue, lets the workers
@@ -23,14 +45,31 @@ use crate::error::ServeError;
 use mtrl_obs::{Histogram, HistogramSnapshot};
 use rhchme::export::FittedModel;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Arc, Mutex, RwLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-/// A batch of unseen objects to fold into one registered model.
+/// A batch of unseen objects to fold into one registered model — the
+/// single request shape shared by the in-process API and the gateway
+/// wire API.
+///
+/// Build one with the fluent constructor chain:
+///
+/// ```ignore
+/// let request = AssignRequest::new("prod-model")
+///     .type_index(0)
+///     .docs(batch)
+///     .batch_hint(64)
+///     .deadline_in(Duration::from_millis(20));
+/// ```
+///
+/// The struct is `#[non_exhaustive]`: downstream crates read the fields
+/// but must construct through the builder, so new knobs (like
+/// `batch_hint` and `deadline`) can be added without breaking callers.
 #[derive(Debug, Clone)]
+#[non_exhaustive]
 pub struct AssignRequest {
     /// Name the model was registered under.
     pub model: String,
@@ -39,6 +78,80 @@ pub struct AssignRequest {
     pub type_index: usize,
     /// The batch, each a sparse vector over that type's feature view.
     pub docs: Vec<SparseVec>,
+    /// Preferred fold-in batch size for coalescing layers. The engine
+    /// itself processes the batch as-is; the gateway's coalescer uses
+    /// the hint as an upper bound when merging concurrent requests.
+    pub batch_hint: Option<usize>,
+    /// Absolute deadline. A request still queued past its deadline is
+    /// abandoned with [`ServeError::Deadline`] instead of being served
+    /// (work already running is not interrupted).
+    pub deadline: Option<Instant>,
+}
+
+impl AssignRequest {
+    /// Start a request for the named model (type 0, no docs yet).
+    pub fn new(model: impl Into<String>) -> Self {
+        AssignRequest {
+            model: model.into(),
+            type_index: 0,
+            docs: Vec::new(),
+            batch_hint: None,
+            deadline: None,
+        }
+    }
+
+    /// Select the object type the documents belong to.
+    #[must_use]
+    pub fn type_index(mut self, type_index: usize) -> Self {
+        self.type_index = type_index;
+        self
+    }
+
+    /// Replace the document batch.
+    #[must_use]
+    pub fn docs(mut self, docs: Vec<SparseVec>) -> Self {
+        self.docs = docs;
+        self
+    }
+
+    /// Append one document to the batch.
+    #[must_use]
+    pub fn doc(mut self, doc: SparseVec) -> Self {
+        self.docs.push(doc);
+        self
+    }
+
+    /// Hint the preferred fold-in batch size to coalescing layers.
+    #[must_use]
+    pub fn batch_hint(mut self, hint: usize) -> Self {
+        self.batch_hint = Some(hint.max(1));
+        self
+    }
+
+    /// Set an absolute deadline.
+    #[must_use]
+    pub fn deadline_at(mut self, at: Instant) -> Self {
+        self.deadline = Some(at);
+        self
+    }
+
+    /// Set a deadline relative to now.
+    #[must_use]
+    pub fn deadline_in(mut self, budget: Duration) -> Self {
+        self.deadline = Some(Instant::now() + budget);
+        self
+    }
+
+    /// Number of documents in the batch.
+    pub fn num_docs(&self) -> usize {
+        self.docs.len()
+    }
+
+    /// Consume the request, keeping only the batch — used by coalescing
+    /// layers that merge several requests into one.
+    pub fn into_docs(self) -> Vec<SparseVec> {
+        self.docs
+    }
 }
 
 /// The result of one [`AssignRequest`].
@@ -58,7 +171,7 @@ pub struct PendingAssign {
 }
 
 impl PendingAssign {
-    /// Block until the engine has processed the request.
+    /// Block until the engine has processed (or shed) the request.
     ///
     /// # Errors
     /// Propagates assignment errors; returns [`ServeError::Shutdown`] if
@@ -73,6 +186,7 @@ struct Counters {
     requests: AtomicU64,
     documents: AtomicU64,
     errors: AtomicU64,
+    shed: AtomicU64,
     busy_nanos: AtomicU64,
     latency_nanos: AtomicU64,
     // Always-on (independent of MTRL_OBS): recording is a handful of
@@ -88,8 +202,12 @@ pub struct StatsSnapshot {
     pub requests: u64,
     /// Documents assigned across all successful requests.
     pub documents: u64,
-    /// Requests that returned an error.
+    /// Requests that returned an error (including shed ones).
     pub errors: u64,
+    /// Requests dropped by admission control: queue at capacity
+    /// ([`ServeError::Overloaded`]) or deadline expired in queue
+    /// ([`ServeError::Deadline`]). Subset of `errors`.
+    pub shed: u64,
     /// Total worker compute time (sum over workers).
     pub busy: Duration,
     /// Total submission-to-completion latency (sum over requests).
@@ -100,19 +218,6 @@ pub struct StatsSnapshot {
 }
 
 impl StatsSnapshot {
-    /// Mean submission-to-completion latency per request.
-    #[deprecated(
-        since = "0.1.0",
-        note = "the mean hides tail latency; use `quantile(0.5)` / `quantile(0.99)`"
-    )]
-    pub fn mean_latency(&self) -> Duration {
-        if self.requests == 0 {
-            Duration::ZERO
-        } else {
-            self.total_latency.div_f64(self.requests as f64)
-        }
-    }
-
     /// Latency quantile (`q ∈ [0, 1]`), e.g. `quantile(0.99)` for p99.
     /// Resolution is one histogram bucket (≤ ~3.2% relative error).
     pub fn quantile(&self, q: f64) -> Duration {
@@ -144,6 +249,10 @@ struct Job {
 struct Inner {
     models: RwLock<HashMap<String, Arc<Assigner>>>,
     queue: Mutex<Receiver<Job>>,
+    /// Requests accepted but not yet picked up by a worker.
+    queue_depth: AtomicUsize,
+    /// `usize::MAX` = unbounded (the [`ServeEngine::new`] default).
+    queue_capacity: usize,
     counters: Counters,
 }
 
@@ -154,13 +263,34 @@ pub struct ServeEngine {
     workers: Vec<JoinHandle<()>>,
 }
 
+/// Retry hint attached to shed requests: half a queue-drain at the
+/// measured fold-in rate is far below this, so a constant conservative
+/// hint keeps the contract simple and honest.
+const SHED_RETRY_AFTER: Duration = Duration::from_millis(50);
+
 impl ServeEngine {
-    /// Spin up an engine with `workers` threads (at least one).
+    /// Spin up an engine with `workers` threads (at least one) and an
+    /// unbounded queue — the embedded/in-process default, where the
+    /// caller controls its own submission rate.
     pub fn new(workers: usize) -> Self {
+        Self::build(workers, usize::MAX)
+    }
+
+    /// Spin up an engine whose queue admits at most `capacity` pending
+    /// requests. A submit beyond the bound is shed immediately with
+    /// [`ServeError::Overloaded`] — nothing is enqueued, so memory
+    /// stays bounded no matter how fast callers push.
+    pub fn with_queue_capacity(workers: usize, capacity: usize) -> Self {
+        Self::build(workers, capacity.max(1))
+    }
+
+    fn build(workers: usize, queue_capacity: usize) -> Self {
         let (tx, rx) = channel::<Job>();
         let inner = Arc::new(Inner {
             models: RwLock::new(HashMap::new()),
             queue: Mutex::new(rx),
+            queue_depth: AtomicUsize::new(0),
+            queue_capacity,
             counters: Counters::default(),
         });
         let workers = (0..workers.max(1))
@@ -244,8 +374,25 @@ impl ServeEngine {
     }
 
     /// Enqueue a request; returns immediately with a wait handle.
+    ///
+    /// Admission control happens here: on a bounded engine with a full
+    /// queue the request is shed — the returned handle resolves at once
+    /// to [`ServeError::Overloaded`] and no memory is retained for it.
     pub fn submit(&self, request: AssignRequest) -> PendingAssign {
         let (reply_tx, reply_rx) = channel();
+        let inner = &self.inner;
+        // Optimistically claim a slot; back out if over the bound. Two
+        // racing submits can both observe depth == capacity - 1 and one
+        // briefly overshoots before the decrement, which is fine: the
+        // bound is a memory guarantee, not a strict FIFO ticket.
+        if inner.queue_depth.fetch_add(1, Ordering::AcqRel) >= inner.queue_capacity {
+            inner.queue_depth.fetch_sub(1, Ordering::AcqRel);
+            record_shed(inner);
+            let _ = reply_tx.send(Err(ServeError::Overloaded {
+                retry_after: SHED_RETRY_AFTER,
+            }));
+            return PendingAssign { rx: reply_rx };
+        }
         let job = Job {
             request,
             submitted: Instant::now(),
@@ -253,13 +400,18 @@ impl ServeEngine {
         };
         // The sender exists for the whole engine lifetime; a send only
         // fails during shutdown, in which case the handle reports it.
-        if let Some(tx) = &self.tx {
-            let _ = tx.send(job);
+        match &self.tx {
+            Some(tx) if tx.send(job).is_ok() => {}
+            _ => {
+                inner.queue_depth.fetch_sub(1, Ordering::AcqRel);
+            }
         }
         PendingAssign { rx: reply_rx }
     }
 
-    /// Submit and wait — the synchronous convenience path.
+    /// Submit and wait — the synchronous convenience path, a thin
+    /// wrapper over `submit(AssignRequest::new(model).type_index(..)
+    /// .docs(..)).wait()`.
     ///
     /// # Errors
     /// Propagates the request's assignment errors.
@@ -269,12 +421,18 @@ impl ServeEngine {
         type_index: usize,
         docs: Vec<SparseVec>,
     ) -> Result<AssignResponse, ServeError> {
-        self.submit(AssignRequest {
-            model: model.to_string(),
-            type_index,
-            docs,
-        })
-        .wait()
+        self.submit(AssignRequest::new(model).type_index(type_index).docs(docs))
+            .wait()
+    }
+
+    /// Requests accepted but not yet picked up by a worker.
+    pub fn queue_depth(&self) -> usize {
+        self.inner.queue_depth.load(Ordering::Acquire)
+    }
+
+    /// Queue bound, if this engine was built with one.
+    pub fn queue_capacity(&self) -> Option<usize> {
+        (self.inner.queue_capacity != usize::MAX).then_some(self.inner.queue_capacity)
     }
 
     /// Current counter values.
@@ -284,6 +442,7 @@ impl ServeEngine {
             requests: c.requests.load(Ordering::Relaxed),
             documents: c.documents.load(Ordering::Relaxed),
             errors: c.errors.load(Ordering::Relaxed),
+            shed: c.shed.load(Ordering::Relaxed),
             busy: Duration::from_nanos(c.busy_nanos.load(Ordering::Relaxed)),
             total_latency: Duration::from_nanos(c.latency_nanos.load(Ordering::Relaxed)),
             latency: c.latency_hist.snapshot(),
@@ -307,6 +466,17 @@ impl Drop for ServeEngine {
     }
 }
 
+fn record_shed(inner: &Inner) {
+    let c = &inner.counters;
+    c.errors.fetch_add(1, Ordering::Relaxed);
+    c.shed.fetch_add(1, Ordering::Relaxed);
+    if mtrl_obs::enabled() {
+        let reg = mtrl_obs::global();
+        reg.add("serve.errors", 1);
+        reg.add("serve.shed", 1);
+    }
+}
+
 fn worker_loop(inner: &Inner) {
     loop {
         // Pop under the lock, process outside it.
@@ -315,6 +485,19 @@ fn worker_loop(inner: &Inner) {
             queue.recv()
         };
         let Ok(job) = job else { break };
+        inner.queue_depth.fetch_sub(1, Ordering::AcqRel);
+        // A request that outlived its deadline in the queue is abandoned
+        // before any compute is spent on it.
+        if let Some(deadline) = job.request.deadline {
+            let now = Instant::now();
+            if now > deadline {
+                record_shed(inner);
+                let _ = job.reply.send(Err(ServeError::Deadline {
+                    exceeded_by: now - deadline,
+                }));
+                continue;
+            }
+        }
         let started = Instant::now();
         let result = process(inner, &job.request, job.submitted);
         let busy = started.elapsed();
@@ -361,7 +544,7 @@ fn process(
         models
             .get(&request.model)
             .cloned()
-            .ok_or_else(|| ServeError::UnknownModel(request.model.clone()))?
+            .ok_or_else(|| ServeError::NotFound(request.model.clone()))?
     };
     let posteriors = assigner.assign_batch(request.type_index, &request.docs)?;
     let labels = Assigner::labels(&posteriors);
@@ -392,6 +575,29 @@ mod tests {
     }
 
     #[test]
+    fn builder_sets_every_knob() {
+        let at = Instant::now() + Duration::from_millis(5);
+        let r = AssignRequest::new("m")
+            .type_index(2)
+            .docs(some_docs(3))
+            .doc(some_docs(1).pop().unwrap())
+            .batch_hint(64)
+            .deadline_at(at);
+        assert_eq!(r.model, "m");
+        assert_eq!(r.type_index, 2);
+        assert_eq!(r.num_docs(), 4);
+        assert_eq!(r.batch_hint, Some(64));
+        assert_eq!(r.deadline, Some(at));
+        assert_eq!(r.into_docs().len(), 4);
+        let r = AssignRequest::new("m").batch_hint(0);
+        assert_eq!(r.batch_hint, Some(1), "hint is clamped to at least 1");
+        assert!(AssignRequest::new("m")
+            .deadline_in(Duration::from_millis(1))
+            .deadline
+            .is_some());
+    }
+
+    #[test]
     fn sync_assign_round_trip() {
         let engine = engine_with_model("m", 51);
         let response = engine.assign("m", 0, some_docs(10)).unwrap();
@@ -405,6 +611,7 @@ mod tests {
         assert_eq!(stats.requests, 1);
         assert_eq!(stats.documents, 10);
         assert_eq!(stats.errors, 0);
+        assert_eq!(stats.shed, 0);
         assert_eq!(stats.latency.count(), 1);
         assert!(stats.quantile(0.5) > Duration::ZERO);
         assert!(stats.max_latency() >= stats.quantile(0.5));
@@ -429,26 +636,10 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn mean_latency_stays_for_backward_compat() {
-        let engine = engine_with_model("m", 63);
-        engine.assign("m", 0, some_docs(4)).unwrap();
-        let stats = engine.stats();
-        assert_eq!(stats.mean_latency(), stats.total_latency);
-        assert!(stats.mean_latency() > Duration::ZERO);
-    }
-
-    #[test]
     fn concurrent_submissions_all_resolve() {
         let engine = engine_with_model("m", 52);
         let pending: Vec<PendingAssign> = (0..32)
-            .map(|_| {
-                engine.submit(AssignRequest {
-                    model: "m".into(),
-                    type_index: 0,
-                    docs: some_docs(4),
-                })
-            })
+            .map(|_| engine.submit(AssignRequest::new("m").docs(some_docs(4))))
             .collect();
         for p in pending {
             let r = p.wait().unwrap();
@@ -464,12 +655,79 @@ mod tests {
     fn unknown_model_is_an_error_not_a_crash() {
         let engine = engine_with_model("m", 53);
         match engine.assign("ghost", 0, some_docs(1)) {
-            Err(ServeError::UnknownModel(name)) => assert_eq!(name, "ghost"),
-            other => panic!("expected UnknownModel, got {other:?}"),
+            Err(ServeError::NotFound(name)) => assert_eq!(name, "ghost"),
+            other => panic!("expected NotFound, got {other:?}"),
         }
         assert_eq!(engine.stats().errors, 1);
+        assert_eq!(engine.stats().shed, 0);
         // The engine still serves the real model afterwards.
         assert!(engine.assign("m", 0, some_docs(1)).is_ok());
+    }
+
+    #[test]
+    fn expired_deadline_is_shed_not_served() {
+        let engine = engine_with_model("m", 64);
+        // A deadline in the past: whenever a worker picks this up, the
+        // deadline check fires before any fold-in work happens.
+        let request = AssignRequest::new("m")
+            .docs(some_docs(2))
+            .deadline_at(Instant::now() - Duration::from_millis(5));
+        match engine.submit(request).wait() {
+            Err(ServeError::Deadline { exceeded_by }) => {
+                assert!(exceeded_by >= Duration::from_millis(5));
+            }
+            other => panic!("expected Deadline, got {other:?}"),
+        }
+        let stats = engine.stats();
+        assert_eq!(stats.requests, 0);
+        assert_eq!(stats.errors, 1);
+        assert_eq!(stats.shed, 1);
+        // A generous deadline is honoured normally.
+        let ok = engine
+            .submit(
+                AssignRequest::new("m")
+                    .docs(some_docs(2))
+                    .deadline_in(Duration::from_secs(30)),
+            )
+            .wait();
+        assert!(ok.is_ok());
+    }
+
+    #[test]
+    fn bounded_queue_sheds_with_overloaded() {
+        // Occupy the single worker with a large batch, then flood the
+        // capacity-1 queue: at most the one queued slot (plus the race
+        // window while the worker pops) can be admitted — everything
+        // else must resolve to Overloaded immediately, no hang, and
+        // depth stays bounded.
+        let engine = ServeEngine::with_queue_capacity(1, 1);
+        engine.register("m", tiny_fitted_model(65)).unwrap();
+        assert_eq!(engine.queue_capacity(), Some(1));
+        let big = engine.submit(AssignRequest::new("m").docs(some_docs(20_000)));
+        let flood: Vec<SparseVec> = some_docs(4);
+        let pending: Vec<PendingAssign> = (0..64)
+            .map(|_| engine.submit(AssignRequest::new("m").docs(flood.clone())))
+            .collect();
+        let mut served = 0u64;
+        let mut shed = 0u64;
+        for p in pending {
+            match p.wait() {
+                Ok(_) => served += 1,
+                Err(ServeError::Overloaded { retry_after }) => {
+                    assert!(retry_after > Duration::ZERO);
+                    shed += 1;
+                }
+                Err(other) => panic!("unexpected error under flood: {other:?}"),
+            }
+        }
+        assert!(big.wait().is_ok());
+        assert_eq!(served + shed, 64);
+        assert!(shed > 0, "flooding a capacity-1 queue must shed");
+        assert!(served <= 2, "a full queue admitted {served} requests");
+        assert_eq!(engine.stats().shed, shed);
+        assert!(engine.queue_depth() <= 2, "depth must drain back down");
+        // The unbounded default never sheds.
+        assert_eq!(engine_with_model("u", 66).queue_capacity(), None);
     }
 
     #[test]

@@ -6,17 +6,26 @@
 //!
 //! Three layers:
 //!
-//! * [`persist`] — a versioned JSON bundle around
-//!   [`rhchme::FittedModel`] (format marker, schema version, content
-//!   digest) with [`persist::save`] / [`persist::load`] and bit-exact
-//!   `f64` round-trips;
+//! * [`persist`] — versioned on-disk bundles around
+//!   [`rhchme::FittedModel`]: the v1 JSON envelope ([`persist::save`] /
+//!   [`persist::load`], bit-exact `f64` round-trips) and the v2 binary
+//!   format ([`persist::save_binary`] / [`persist::load_binary`],
+//!   length-prefixed LE sections + FNV digest, ≥10× faster loads for
+//!   fleet restarts), with [`persist::load_any`] sniffing either;
 //! * [`assign`] — the fold-in predictor: [`Assigner`] maps a sparse
 //!   feature vector of any object type to a posterior over that type's
 //!   clusters via cosine similarity against the learned centroids
 //!   (soft co-association scores, not just a hard label), batched;
 //! * [`engine`] — [`ServeEngine`]: a named-model registry plus an
 //!   std-only worker pool draining [`AssignRequest`] batches from an
-//!   mpsc queue, with latency/throughput counters.
+//!   mpsc queue, with latency histograms, optional bounded-queue
+//!   admission control, and per-request deadlines.
+//!
+//! The [`AssignRequest`] builder and the [`ServeError`] taxonomy are
+//! shared verbatim with the network front end (`mtrl-gateway`): one
+//! request shape and one failure taxonomy whether a caller is
+//! in-process or on the wire (see the [`error`] module docs for the
+//! 1:1 HTTP status mapping).
 //!
 //! ```
 //! use mtrl_datagen::{corpus::generate, split_corpus, CorpusConfig};
@@ -61,7 +70,7 @@ pub mod persist;
 pub use assign::{Assigner, SparseVec};
 pub use engine::{AssignRequest, AssignResponse, PendingAssign, ServeEngine, StatsSnapshot};
 pub use error::ServeError;
-pub use persist::{load, save, FORMAT_MARKER};
+pub use persist::{load, load_any, load_binary, save, save_binary, BINARY_MAGIC, FORMAT_MARKER};
 pub use rhchme::export::{FittedModel, SCHEMA_VERSION};
 
 /// Result alias for this crate.

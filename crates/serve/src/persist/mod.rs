@@ -1,6 +1,22 @@
 //! Versioned on-disk persistence of [`FittedModel`] bundles.
 //!
-//! # Format
+//! Two formats share this module:
+//!
+//! * **v1 (JSON)** — the human-readable envelope below, written by
+//!   [`save`] and read by [`load`]. Kept as the migration path and for
+//!   debugging; parsing costs ~2 ms per model.
+//! * **v2 (binary)** — [`binary`]: a length-prefixed little-endian
+//!   section layout with an FNV integrity digest, built for fleet
+//!   restarts where hundreds of models must load in milliseconds
+//!   (≥10× faster than the JSON path on the same model, gated in
+//!   `BENCH_gateway.json`). Written by [`save_binary`], read by
+//!   [`load_binary`].
+//!
+//! [`load_any`] sniffs the leading bytes and accepts either, which is
+//! how a fleet migrates: `load_any` old JSON bundles, `save_binary`
+//! them back out, delete the originals at leisure.
+//!
+//! # v1 JSON format
 //!
 //! A bundle is a single JSON document — an *envelope* around the model:
 //!
@@ -29,6 +45,10 @@ use crate::error::ServeError;
 use rhchme::export::{FittedModel, SCHEMA_VERSION};
 use serde::{Deserialize, Serialize, Value};
 use std::path::Path;
+
+pub mod binary;
+
+pub use binary::{from_bytes, load_binary, save_binary, to_bytes, BINARY_MAGIC, CONTAINER_VERSION};
 
 /// Fixed format marker of a fitted-model bundle.
 pub const FORMAT_MARKER: &str = "mtrl-serve/fitted-model";
@@ -121,6 +141,24 @@ pub fn save(model: &FittedModel, path: impl AsRef<Path>) -> Result<(), ServeErro
 pub fn load(path: impl AsRef<Path>) -> Result<FittedModel, ServeError> {
     let text = std::fs::read_to_string(path)?;
     from_json(&text)
+}
+
+/// Load a bundle in either format, sniffing the leading bytes: the v2
+/// binary magic routes to [`load_binary`], anything else is treated as
+/// a v1 JSON envelope. This is the fleet-restart entry point — a model
+/// directory can hold a mix of generations and every file still loads.
+///
+/// # Errors
+/// Propagates I/O errors and the chosen format's verification failures.
+pub fn load_any(path: impl AsRef<Path>) -> Result<FittedModel, ServeError> {
+    let bytes = std::fs::read(path)?;
+    if bytes.starts_with(BINARY_MAGIC) {
+        from_bytes(&bytes)
+    } else {
+        let text = std::str::from_utf8(&bytes)
+            .map_err(|e| ServeError::Corrupt(format!("bundle is neither binary nor UTF-8: {e}")))?;
+        from_json(text)
+    }
 }
 
 #[cfg(test)]

@@ -71,13 +71,7 @@ fn main() {
         .collect();
     let pending: Vec<_> = docs
         .chunks(16)
-        .map(|chunk| {
-            engine.submit(AssignRequest {
-                model: "d1".into(),
-                type_index: 0,
-                docs: chunk.to_vec(),
-            })
-        })
+        .map(|chunk| engine.submit(AssignRequest::new("d1").docs(chunk.to_vec())))
         .collect();
     let mut foldin_labels = Vec::with_capacity(docs.len());
     for p in pending {

@@ -13,6 +13,7 @@
 
 pub use mtrl_datagen as datagen;
 pub use mtrl_eval as eval;
+pub use mtrl_gateway as gateway;
 pub use mtrl_graph as graph;
 pub use mtrl_linalg as linalg;
 pub use mtrl_metrics as metrics;
@@ -33,6 +34,7 @@ pub mod prelude {
     pub use mtrl_eval::{
         quick_matrix, quick_params, run_scenario, CorpusShape, EvalPath, RunOptions, Scenario,
     };
+    pub use mtrl_gateway::{Gateway, GatewayConfig, GatewayStats};
     pub use mtrl_metrics::{adjusted_rand_index, fscore, nmi, purity};
     pub use mtrl_serve::{
         AssignRequest, AssignResponse, Assigner, FittedModel, ServeEngine, ServeError, SparseVec,

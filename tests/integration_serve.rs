@@ -72,6 +72,31 @@ fn save_load_assign_equals_in_memory_assignment() {
 }
 
 #[test]
+fn v1_json_to_v2_binary_migration_is_lossless() {
+    let full = corpus(75);
+    let (train, _) = split_corpus(&full, 0.25, 75);
+    let model = fit_and_export(&train);
+
+    let dir = std::env::temp_dir().join("mtrl_serve_migration");
+    std::fs::create_dir_all(&dir).unwrap();
+    let v1 = dir.join("model_v1.json");
+    let v2 = dir.join("model_v2.mtrl");
+
+    // The v1 → v2 migration path: save JSON, load it back through the
+    // format-sniffing loader, re-save binary, load that back too.
+    persist::save(&model, &v1).unwrap();
+    let from_v1 = persist::load_any(&v1).unwrap();
+    persist::save_binary(&from_v1, &v2).unwrap();
+    let from_v2 = persist::load_any(&v2).unwrap();
+    std::fs::remove_file(&v1).ok();
+    std::fs::remove_file(&v2).ok();
+
+    // Bit-identity across the whole chain, not mere closeness.
+    assert_eq!(model.content_digest(), from_v1.content_digest());
+    assert_eq!(model.content_digest(), from_v2.content_digest());
+}
+
+#[test]
 fn pipeline_export_flag_round_trips_through_engine() {
     let full = corpus(72);
     let params = PipelineParams {
@@ -132,6 +157,48 @@ proptest! {
             let sum: f64 = posterior.iter().sum();
             prop_assert!((sum - 1.0).abs() < 1e-9, "sum {} (type {})", sum, type_index);
         }
+    }
+
+    #[test]
+    fn binary_round_trip_is_bit_identical_to_json_path(seed in 0u64..1000, scale in 0.5f64..2.0) {
+        // One base fit (fitting per case would dominate the runtime);
+        // each case derives a distinct model by scaling the shared
+        // cluster indicator, so the bytes under test vary per case.
+        use std::sync::OnceLock;
+        static MODEL: OnceLock<FittedModel> = OnceLock::new();
+        let base = MODEL.get_or_init(|| {
+            let (train, _) = split_corpus(&corpus(76), 0.2, 76);
+            fit_and_export(&train)
+        });
+        let mut model = base.clone();
+        let k = (seed as usize) % model.s.len().max(1);
+        model.s.as_mut_slice()[k] *= scale;
+
+        let bytes = persist::to_bytes(&model).unwrap();
+        let json = persist::to_json(&model).unwrap();
+        let from_binary = persist::from_bytes(&bytes).unwrap();
+        let from_json = persist::from_json(&json).unwrap();
+        prop_assert_eq!(model.content_digest(), from_binary.content_digest());
+        prop_assert_eq!(from_json.content_digest(), from_binary.content_digest());
+    }
+
+    #[test]
+    fn tampered_binary_never_loads_and_never_panics(seed in 0u64..10_000) {
+        use std::sync::OnceLock;
+        static BYTES: OnceLock<Vec<u8>> = OnceLock::new();
+        let good = BYTES.get_or_init(|| {
+            let (train, _) = split_corpus(&corpus(77), 0.2, 77);
+            persist::to_bytes(&fit_and_export(&train)).unwrap()
+        });
+        prop_assert!(persist::from_bytes(good).is_ok());
+
+        // Any single corrupted byte — header, section payload, padding,
+        // or the digest trailer itself — must be rejected, not parsed.
+        let mut bytes = good.clone();
+        let offset = (seed as usize) % bytes.len();
+        let bit = 1u8 << (seed % 8) as u8;
+        bytes[offset] ^= bit;
+        prop_assert!(persist::from_bytes(&bytes).is_err(), "offset {}", offset);
     }
 
     #[test]

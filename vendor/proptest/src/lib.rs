@@ -146,6 +146,12 @@ impl Arbitrary for u32 {
     }
 }
 
+impl Arbitrary for u8 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() as u8
+    }
+}
+
 impl Arbitrary for usize {
     fn arbitrary(rng: &mut TestRng) -> Self {
         rng.next_u64() as usize
