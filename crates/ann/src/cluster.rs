@@ -1,0 +1,192 @@
+//! Cluster-pruned (IVF-style) backend: a k-means coarse quantiser
+//! partitions the rows into tiles; queries route to their nearest
+//! `probe_tiles` centroids and only those members become candidates.
+//!
+//! The quantiser reuses the workspace k-means (`mtrl_linalg::kmeans`,
+//! re-exported as `rhchme::kmeans`), trained on a deterministic stride
+//! sample so the build cost stays O(sample · tiles · d) — routing every
+//! row afterwards is the only full pass. Tile routing is a pure
+//! function of the (centred) row, so insert/remove of a row always
+//! touches the tile batch construction would have chosen.
+
+use crate::config::ClusterParams;
+use crate::index::NeighbourIndex;
+use mtrl_graph::knn::select_p_nearest;
+use mtrl_linalg::kmeans::kmeans;
+use mtrl_linalg::vecops::sq_dist;
+use mtrl_linalg::Mat;
+
+/// Cluster-pruned index over centred rows.
+#[derive(Debug, Clone)]
+pub struct ClusterIndex {
+    params: ClusterParams,
+    /// One row per tile centroid.
+    centroids: Mat,
+    /// Global ids per tile, kept sorted.
+    tiles: Vec<Vec<usize>>,
+    len: usize,
+}
+
+impl ClusterIndex {
+    /// Train the quantiser and route every row, where row `k` of `rows`
+    /// carries global id `ids[k]`. `params.tiles == 0` selects `⌈√n⌉`.
+    pub fn build(rows: &Mat, ids: &[usize], params: &ClusterParams) -> ClusterIndex {
+        assert_eq!(ids.len(), rows.rows(), "one id per row");
+        let n = rows.rows();
+        let k = effective_tiles(params.tiles, n);
+        // Deterministic stride sample for the quantiser: every
+        // ⌈n/sample⌉-th row, independent of thread counts and rng state.
+        let sample_cap = params.quantiser_sample.max(k).min(n.max(1));
+        let stride = n.div_ceil(sample_cap.max(1)).max(1);
+        let sample_rows: Vec<Vec<f64>> = (0..n)
+            .step_by(stride)
+            .map(|i| rows.row(i).to_vec())
+            .collect();
+        let centroids = if n == 0 {
+            Mat::zeros(0, rows.cols())
+        } else {
+            let sample = Mat::from_rows(&sample_rows).expect("rectangular sample");
+            kmeans(&sample, k, params.seed, 50).centroids
+        };
+        let mut tiles = vec![Vec::new(); centroids.rows().max(1)];
+        for i in 0..n {
+            tiles[nearest_tile(&centroids, rows.row(i))].push(ids[i]);
+        }
+        for tile in &mut tiles {
+            tile.sort_unstable();
+        }
+        ClusterIndex {
+            params: *params,
+            centroids,
+            tiles,
+            len: n,
+        }
+    }
+}
+
+/// `0` means auto: `⌈√n⌉`, the classic IVF balance point where routing
+/// cost (`n·√n·d`) matches the candidate scan (`n·√n·d` at one probe).
+fn effective_tiles(tiles: usize, n: usize) -> usize {
+    if tiles > 0 {
+        tiles
+    } else {
+        ((n.max(1) as f64).sqrt().ceil() as usize).max(1)
+    }
+}
+
+/// Nearest centroid under `(distance, index)` total order — ties break
+/// to the lower tile, deterministically for every caller.
+fn nearest_tile(centroids: &Mat, row: &[f64]) -> usize {
+    let mut best = (f64::INFINITY, 0usize);
+    for c in 0..centroids.rows() {
+        let d = sq_dist(row, centroids.row(c));
+        if d.total_cmp(&best.0) == std::cmp::Ordering::Less {
+            best = (d, c);
+        }
+    }
+    best.1
+}
+
+impl NeighbourIndex for ClusterIndex {
+    fn candidates_into(&self, row: &[f64], out: &mut Vec<usize>) {
+        let mut dists: Vec<(f64, usize)> = (0..self.centroids.rows())
+            .map(|c| (sq_dist(row, self.centroids.row(c)), c))
+            .collect();
+        for t in select_p_nearest(&mut dists, self.params.probe_tiles.max(1)) {
+            out.extend_from_slice(&self.tiles[t]);
+        }
+    }
+
+    fn insert(&mut self, id: usize, row: &[f64]) {
+        let members = &mut self.tiles[nearest_tile(&self.centroids, row)];
+        let pos = members.partition_point(|&m| m < id);
+        members.insert(pos, id);
+        self.len += 1;
+    }
+
+    fn remove(&mut self, id: usize, row: &[f64]) {
+        let t = nearest_tile(&self.centroids, row);
+        if let Ok(pos) = self.tiles[t].binary_search(&id) {
+            self.tiles[t].remove(pos);
+        }
+        self.len = self.len.saturating_sub(1);
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mtrl_linalg::random::rand_uniform;
+
+    fn identity_ids(n: usize) -> Vec<usize> {
+        (0..n).collect()
+    }
+
+    #[test]
+    fn one_tile_is_exhaustive() {
+        let data = rand_uniform(90, 5, -1.0, 1.0, 11);
+        let index = ClusterIndex::build(
+            &data,
+            &identity_ids(90),
+            &ClusterParams {
+                tiles: 1,
+                probe_tiles: 1,
+                quantiser_sample: 16,
+                seed: 1,
+            },
+        );
+        let mut out = Vec::new();
+        index.candidates_into(data.row(3), &mut out);
+        out.sort_unstable();
+        assert_eq!(out, identity_ids(90));
+    }
+
+    #[test]
+    fn auto_tiles_partition_all_rows() {
+        let data = rand_uniform(144, 4, -1.0, 1.0, 12);
+        let index = ClusterIndex::build(&data, &identity_ids(144), &ClusterParams::default());
+        assert_eq!(index.tiles.len(), 12); // ⌈√144⌉
+        let total: usize = index.tiles.iter().map(Vec::len).sum();
+        assert_eq!(total, 144);
+        // Probing all tiles recovers everything.
+        let mut out = Vec::new();
+        let all = ClusterParams {
+            probe_tiles: usize::MAX,
+            ..ClusterParams::default()
+        };
+        let index = ClusterIndex::build(&data, &identity_ids(144), &all);
+        index.candidates_into(data.row(0), &mut out);
+        out.sort_unstable();
+        assert_eq!(out, identity_ids(144));
+    }
+
+    #[test]
+    fn insert_remove_route_to_same_tile() {
+        let data = rand_uniform(64, 3, -1.0, 1.0, 13);
+        let mut index = ClusterIndex::build(
+            &data,
+            &identity_ids(64),
+            &ClusterParams {
+                tiles: 6,
+                probe_tiles: 6,
+                quantiser_sample: 64,
+                seed: 2,
+            },
+        );
+        let row: Vec<f64> = data.row(20).to_vec();
+        index.insert(64, &row);
+        assert_eq!(index.len(), 65);
+        let mut out = Vec::new();
+        index.candidates_into(&row, &mut out);
+        assert!(out.contains(&64));
+        index.remove(64, &row);
+        out.clear();
+        index.candidates_into(&row, &mut out);
+        assert!(!out.contains(&64));
+        assert_eq!(index.len(), 64);
+    }
+}

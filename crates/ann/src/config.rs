@@ -1,0 +1,124 @@
+//! Backend selection for p-nearest-neighbour graph construction.
+//!
+//! [`GraphBackend`] is the one config enum the rest of the system
+//! threads through: `rhchme`'s `RhchmeConfig`, the pipeline params, the
+//! eval runner and `mtrl-stream`'s `DynamicGraphConfig` all carry it, so
+//! switching a fit from the exact O(n²) kernel to an approximate index
+//! is a configuration change, never a new call site.
+
+/// Random-projection tree forest parameters.
+///
+/// Each of `trees` trees recursively splits the data at the median of a
+/// random projection until nodes hold at most `leaf_size` rows. A query
+/// descends each tree best-first, visiting its `probes` nearest leaves
+/// (by accumulated split-margin penalty); the candidate set is the
+/// union over trees. `probes` at or above the leaf count of every tree
+/// makes the search exhaustive — and therefore bit-identical to the
+/// exact kernel (see the crate docs for why).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RpForestParams {
+    /// Number of independent trees (more trees → higher recall).
+    pub trees: usize,
+    /// Maximum rows per leaf (larger leaves → higher recall, slower).
+    pub leaf_size: usize,
+    /// Leaves visited per tree per query (multi-probe descent).
+    pub probes: usize,
+    /// Seed for the random projection directions.
+    pub seed: u64,
+}
+
+impl Default for RpForestParams {
+    fn default() -> Self {
+        RpForestParams {
+            trees: 5,
+            leaf_size: 40,
+            probes: 2,
+            seed: 0x00A7_74EE,
+        }
+    }
+}
+
+/// Cluster-pruned (IVF-style) backend parameters.
+///
+/// A k-means coarse quantiser (reusing `rhchme::kmeans`, itself re-homed
+/// in `mtrl_linalg::kmeans`) partitions the rows into `tiles` cells; a
+/// query routes to its `probe_tiles` nearest centroids and scans only
+/// those members with the blocked Gram kernel. `tiles = 1` is a single
+/// cell containing everything — exhaustive, bit-identical to exact.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClusterParams {
+    /// Quantiser cells; `0` selects `⌈√n⌉` at build time.
+    pub tiles: usize,
+    /// Cells scanned per query (more → higher recall, slower).
+    pub probe_tiles: usize,
+    /// Rows sampled (deterministic stride) to train the quantiser.
+    pub quantiser_sample: usize,
+    /// Seed for the k-means++ initialisation.
+    pub seed: u64,
+}
+
+impl Default for ClusterParams {
+    fn default() -> Self {
+        ClusterParams {
+            tiles: 0,
+            probe_tiles: 4,
+            quantiser_sample: 2048,
+            seed: 0x00C1_0A7E,
+        }
+    }
+}
+
+/// Which neighbour-search kernel builds the pNN graph.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum GraphBackend {
+    /// The exact blocked Gram kernel (`mtrl_graph::knn`). O(n²) but
+    /// the ground truth every approximate backend is measured against.
+    #[default]
+    Exact,
+    /// Random-projection tree forest with multi-probe descent.
+    RpForest(RpForestParams),
+    /// Cluster-pruned Gram-tile search behind a k-means quantiser.
+    ClusterPruned(ClusterParams),
+}
+
+impl GraphBackend {
+    /// Whether this is the exact kernel (no index, no recall loss).
+    pub fn is_exact(&self) -> bool {
+        matches!(self, GraphBackend::Exact)
+    }
+
+    /// Short stable key for report/bench entry names.
+    pub fn key(&self) -> &'static str {
+        match self {
+            GraphBackend::Exact => "exact",
+            GraphBackend::RpForest(_) => "rp_forest",
+            GraphBackend::ClusterPruned(_) => "cluster",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_exact() {
+        assert!(GraphBackend::default().is_exact());
+        assert!(!GraphBackend::RpForest(RpForestParams::default()).is_exact());
+    }
+
+    #[test]
+    fn keys_are_distinct() {
+        let keys = [
+            GraphBackend::Exact.key(),
+            GraphBackend::RpForest(RpForestParams::default()).key(),
+            GraphBackend::ClusterPruned(ClusterParams::default()).key(),
+        ];
+        assert_eq!(keys.len(), {
+            let mut k = keys.to_vec();
+            k.sort_unstable();
+            k.dedup();
+            k.len()
+        });
+    }
+}

@@ -1,0 +1,54 @@
+//! # mtrl-ann
+//!
+//! Approximate p-nearest-neighbour indexes behind the exact
+//! neighbour-list API — the subsystem that breaks the O(n²) graph wall.
+//!
+//! Every manifold in the paper's heterogeneous ensemble is anchored on
+//! a pNN graph; the exact all-pairs Gram kernel (`mtrl_graph::knn`) is
+//! the last quadratic stage in the system and the hard cap on corpus
+//! size. This crate supplies two std-only approximate backends unified
+//! behind the [`NeighbourIndex`] trait:
+//!
+//! | backend | build | query | knobs |
+//! |---|---|---|---|
+//! | [`forest::RpForestIndex`] | O(n log n) per tree | multi-probe descent | `trees`, `leaf_size`, `probes` |
+//! | [`cluster::ClusterIndex`] | k-means sample + one routing pass | nearest `probe_tiles` tiles | `tiles`, `probe_tiles` |
+//!
+//! Both produce the same index-sorted neighbour-list structure
+//! `mtrl_graph::graph_from_neighbours` consumes, so `pnn_graph`,
+//! `mtrl-stream`'s `DynamicGraph` and the eval runner all gain
+//! approximate mode via the [`GraphBackend`] config enum rather than
+//! new call sites.
+//!
+//! ## Exactness and determinism
+//!
+//! Indexes generate *candidates only*; distances and selection reuse
+//! the exact kernel's primitives (`gram_sq_dist`, `dist_less`,
+//! `select_p_nearest`), so at exhaustive settings — forest probing
+//! every leaf, quantiser with a single tile — the output is
+//! **bit-identical** to `knn_indices`, and at any setting the output is
+//! bit-identical across thread counts (see [`index`] for the argument,
+//! and the cross-backend proptests for the pin).
+//!
+//! ## The correctness oracle
+//!
+//! [`recall::sampled_recall`] measures recall@p against the exact
+//! kernel on a seeded row sample; the committed `RECALL_quick.json`
+//! floor is enforced by CI (`recall_gate`), because a fast graph with
+//! silently degraded recall would poison every manifold downstream.
+
+pub mod cluster;
+pub mod config;
+pub mod forest;
+pub mod index;
+pub mod recall;
+mod serde_impl;
+
+pub use cluster::ClusterIndex;
+pub use config::{ClusterParams, GraphBackend, RpForestParams};
+pub use forest::RpForestIndex;
+pub use index::{
+    build_any_index, build_index, insert_capped, knn_indices_backend, pnn_graph_backend,
+    select_from_candidates, AnyIndex, NeighbourIndex, QueryScratch,
+};
+pub use recall::{sampled_recall, RecallProbe, RecallResult};

@@ -17,7 +17,8 @@
 //! all.
 
 use crate::Result;
-use mtrl_graph::{laplacian_csr, pnn_graph, LaplacianKind, WeightScheme};
+use mtrl_ann::{pnn_graph_backend, GraphBackend};
+use mtrl_graph::{laplacian_csr, LaplacianKind, WeightScheme};
 use mtrl_linalg::Mat;
 use mtrl_sparse::SparseBlockDiag;
 use mtrl_subspace::{affinity_to_weights, spg_affinity, SpgConfig};
@@ -47,9 +48,26 @@ pub fn pnn_laplacians(
     scheme: WeightScheme,
     kind: LaplacianKind,
 ) -> Result<SparseBlockDiag> {
+    pnn_laplacians_backend(features, p, scheme, kind, &GraphBackend::Exact)
+}
+
+/// [`pnn_laplacians`] with an explicit neighbour-search backend.
+///
+/// [`GraphBackend::Exact`] reproduces the blocked all-pairs kernel;
+/// the approximate backends route candidate generation through an
+/// ANN index (`mtrl_ann`) while distances and selection stay on the
+/// exact kernel's primitives, so exhaustive settings are bit-identical
+/// and every setting is thread-count invariant.
+pub fn pnn_laplacians_backend(
+    features: &[Mat],
+    p: usize,
+    scheme: WeightScheme,
+    kind: LaplacianKind,
+    backend: &GraphBackend,
+) -> Result<SparseBlockDiag> {
     let blocks = features
         .iter()
-        .map(|f| laplacian_csr(&pnn_graph(f, p, scheme), kind))
+        .map(|f| laplacian_csr(&pnn_graph_backend(f, p, scheme, backend), kind))
         .collect();
     Ok(SparseBlockDiag::new(blocks)?)
 }

@@ -44,13 +44,15 @@ pub mod engine;
 pub mod error;
 pub mod export;
 pub mod intra;
-pub mod kmeans;
 pub mod multitype;
 pub mod pipeline;
 pub mod rhchme;
 
+pub use mtrl_linalg::kmeans;
+
 pub use error::RhchmeError;
 pub use export::{FittedModel, SCHEMA_VERSION};
+pub use mtrl_ann::GraphBackend;
 pub use multitype::MultiTypeData;
 pub use pipeline::{run_method, Method, MethodOutput};
 pub use rhchme::{Rhchme, RhchmeConfig, RhchmeResult, WarmStart};

@@ -12,7 +12,7 @@ use crate::baselines::{
     SrcConfig,
 };
 use crate::engine::{run_engine, EngineConfig, GraphRegularizer};
-use crate::intra::{hetero_laplacian, pnn_laplacians, subspace_laplacians};
+use crate::intra::{hetero_laplacian, pnn_laplacians_backend, subspace_laplacians};
 use crate::multitype::MultiTypeData;
 use crate::rhchme::{init_membership, package_result, Rhchme, RhchmeConfig};
 use crate::Result;
@@ -89,6 +89,10 @@ pub struct PipelineParams {
     pub beta: f64,
     /// pNN neighbour count for SNMTF/RHCHME/DRCC graphs.
     pub p: usize,
+    /// Neighbour-search backend for RHCHME's pNN graphs (exact blocked
+    /// kernel or an approximate `mtrl_ann` index; other methods keep the
+    /// exact kernel — their corpora are baseline-sized by construction).
+    pub graph_backend: mtrl_ann::GraphBackend,
     /// RMC's quadratic penalty μ on ensemble weights.
     pub rmc_mu: f64,
     /// DRCC document-side graph weight.
@@ -120,6 +124,7 @@ impl Default for PipelineParams {
             alpha: 1.0,
             beta: 50.0,
             p: 5,
+            graph_backend: mtrl_ann::GraphBackend::Exact,
             rmc_mu: 1.0,
             drcc_lambda: 0.1,
             drcc_mu: 0.1,
@@ -263,6 +268,7 @@ pub fn run_method(
                 alpha: params.alpha,
                 beta: params.beta,
                 p: params.p,
+                graph_backend: params.graph_backend,
                 spg_max_iter: params.spg_max_iter,
                 max_iter: params.max_iter,
                 tol: params.tol,
@@ -334,11 +340,12 @@ impl Artifacts {
         let features = data.all_features();
         let g0 = init_membership(&data, &features, params.seed);
         let r = data.assemble_r_csr();
-        let l_pnn = pnn_laplacians(
+        let l_pnn = pnn_laplacians_backend(
             &features,
             params.p,
             WeightScheme::Cosine,
             LaplacianKind::SymNormalized,
+            &params.graph_backend,
         )?;
         Ok(Artifacts {
             data,

@@ -14,7 +14,7 @@
 
 use crate::engine::{run_engine, EngineConfig, EngineResult, GraphRegularizer};
 use crate::export::FittedModel;
-use crate::intra::{hetero_laplacian, pnn_laplacians, subspace_laplacians};
+use crate::intra::{hetero_laplacian, pnn_laplacians_backend, subspace_laplacians};
 use crate::kmeans::{kmeans, labels_to_membership};
 use crate::multitype::MultiTypeData;
 use crate::Result;
@@ -50,6 +50,11 @@ pub struct RhchmeConfig {
     pub p: usize,
     /// pNN weighting (paper uses cosine for `L_E`).
     pub weight_scheme: WeightScheme,
+    /// Neighbour-search backend for the pNN graphs (`L_E`): the exact
+    /// blocked kernel, or an approximate index (`mtrl_ann`) for large
+    /// corpora. Approximate backends change candidate generation only;
+    /// distances and selection stay bit-identical to the exact kernel.
+    pub graph_backend: mtrl_ann::GraphBackend,
     /// Laplacian normalisation (see `mtrl_graph::laplacian`).
     pub laplacian_kind: LaplacianKind,
     /// SPG iteration budget for stage 1.
@@ -76,6 +81,7 @@ impl Default for RhchmeConfig {
             beta: 50.0,
             p: 5,
             weight_scheme: WeightScheme::Cosine,
+            graph_backend: mtrl_ann::GraphBackend::Exact,
             laplacian_kind: LaplacianKind::SymNormalized,
             spg_max_iter: 80,
             max_iter: 100,
@@ -222,7 +228,13 @@ impl Rhchme {
             ..SpgConfig::default()
         };
         let l_s = subspace_laplacians(features, &spg_cfg, cfg.laplacian_kind)?;
-        let l_e = pnn_laplacians(features, cfg.p, cfg.weight_scheme, cfg.laplacian_kind)?;
+        let l_e = pnn_laplacians_backend(
+            features,
+            cfg.p,
+            cfg.weight_scheme,
+            cfg.laplacian_kind,
+            &cfg.graph_backend,
+        )?;
         hetero_laplacian(&l_s, &l_e, cfg.alpha)
     }
 

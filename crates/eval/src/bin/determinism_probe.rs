@@ -1,7 +1,7 @@
 //! Byte-exact fit dump for the CI determinism leg.
 //!
 //! ```text
-//! determinism_probe <out_file>
+//! determinism_probe <out_file> [--ann]
 //! ```
 //!
 //! Runs one full RHCHME fit (corpus seeded from `MTRL_SEED`, quick
@@ -11,6 +11,11 @@
 //! the two files: the parallel kernels' determinism contract (bit-equal
 //! results for every thread count) is enforced on a whole fit, not just
 //! per-kernel unit tests.
+//!
+//! `--ann` swaps the graph stage to the RP-forest approximate backend
+//! (default parameters), extending the same contract to the ANN layer:
+//! index build, descent, and candidate re-ranking must also be
+//! thread-count invariant end to end.
 
 use mtrl_datagen::{seed_from_env, CorruptionSpec};
 use mtrl_eval::{quick_params, rhchme_config, CorpusShape};
@@ -19,14 +24,22 @@ use std::process::ExitCode;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let [out_path] = args.as_slice() else {
-        eprintln!("usage: determinism_probe <out_file>");
-        return ExitCode::FAILURE;
+    let (out_path, ann) = match args.as_slice() {
+        [out_path] => (out_path, false),
+        [out_path, flag] if flag == "--ann" => (out_path, true),
+        _ => {
+            eprintln!("usage: determinism_probe <out_file> [--ann]");
+            return ExitCode::FAILURE;
+        }
     };
     let seed = seed_from_env(2015);
     let corpus =
         CorruptionSpec::relation_corruption(0.1).corpus(&CorpusShape::Balanced3.config(), seed);
-    let rhchme = Rhchme::new(rhchme_config(&quick_params(seed)));
+    let mut params = quick_params(seed);
+    if ann {
+        params.graph_backend = rhchme::GraphBackend::RpForest(mtrl_ann::RpForestParams::default());
+    }
+    let rhchme = Rhchme::new(rhchme_config(&params));
     let result = match rhchme.fit_corpus(&corpus) {
         Ok(r) => r,
         Err(e) => {

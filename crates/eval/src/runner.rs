@@ -100,6 +100,7 @@ pub fn rhchme_config(params: &PipelineParams) -> RhchmeConfig {
         alpha: params.alpha,
         beta: params.beta,
         p: params.p,
+        graph_backend: params.graph_backend,
         spg_max_iter: params.spg_max_iter,
         max_iter: params.max_iter,
         tol: params.tol,
@@ -152,6 +153,7 @@ pub fn run_matrix(
 
 fn run_seed(scenario: &Scenario, seed: u64, opts: &RunOptions) -> Result<QualityScores> {
     let mut params = quick_params(seed);
+    params.graph_backend = scenario.backend;
     if opts.degrade {
         apply_degrade(&mut params);
     }

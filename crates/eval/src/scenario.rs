@@ -11,6 +11,7 @@
 
 use mtrl_datagen::{CorpusConfig, CorruptionSpec};
 use rhchme::pipeline::Method;
+use rhchme::GraphBackend;
 
 /// How a scenario drives the system.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -51,6 +52,13 @@ pub enum CorpusShape {
     /// 3 balanced classes × 8 documents, 60 terms, 15 concepts — tiny,
     /// for unit/integration tests of the eval layer itself.
     Tiny3,
+    /// 3 balanced classes × 220 documents, 150 terms, 40 concepts — the
+    /// quick-mode cap of the large-shape family that gates the
+    /// approximate-NN graph path end to end. The uncapped variant of
+    /// this family (n ≥ 50k rows, graph build only — a dense RHCHME fit
+    /// is not feasible there yet) lives in the `micro_ann` bench and the
+    /// ignored extrapolation test, not the committed quick matrix.
+    Large3,
 }
 
 impl CorpusShape {
@@ -101,6 +109,19 @@ impl CorpusShape {
                 view_confusion: 0.0,
                 seed: 0,
             },
+            CorpusShape::Large3 => CorpusConfig {
+                docs_per_class: vec![220, 220, 220],
+                vocab_size: 150,
+                concept_count: 40,
+                doc_len_range: (40, 70),
+                background_frac: 0.25,
+                topic_noise: 0.25,
+                concept_map_noise: 0.1,
+                corrupt_frac: 0.0,
+                subtopics_per_class: 2,
+                view_confusion: 0.25,
+                seed: 0,
+            },
         }
     }
 }
@@ -116,17 +137,33 @@ pub struct Scenario {
     pub corruption: CorruptionSpec,
     /// Pipeline path under test.
     pub path: EvalPath,
+    /// Neighbour-search backend for the path's pNN graphs (exact by
+    /// default; approximate backends append their key to the name).
+    pub backend: GraphBackend,
 }
 
 impl Scenario {
-    /// Build a scenario with the canonical `corruption/path` key.
+    /// Build a scenario with the canonical `corruption/path` key and the
+    /// exact graph backend.
     pub fn new(shape: CorpusShape, corruption: CorruptionSpec, path: EvalPath) -> Self {
         Scenario {
             name: format!("{}/{}", corruption.kind.key(), path.key()),
             shape,
             corruption,
             path,
+            backend: GraphBackend::Exact,
         }
+    }
+
+    /// Route the scenario's pNN graphs through `backend`. Non-exact
+    /// backends get their key appended (`…/rhchme+rp_forest`) so exact
+    /// and approximate cells coexist in one report.
+    pub fn with_backend(mut self, backend: GraphBackend) -> Self {
+        if !backend.is_exact() {
+            self.name = format!("{}+{}", self.name, backend.key());
+        }
+        self.backend = backend;
+        self
     }
 }
 
@@ -180,6 +217,27 @@ pub fn quick_matrix() -> Vec<Scenario> {
         CorruptionSpec::drift(0.4),
         EvalPath::StreamWarmRefit,
     ));
+    // The large-shape ANN cells: the same cold-fit + fold-in paths, but
+    // with the pNN graphs built through the RP-forest index on the
+    // quick-capped large shape — the approximate graph layer is quality-
+    // gated end to end, not just recall-gated.
+    let ann = GraphBackend::RpForest(mtrl_ann::RpForestParams::default());
+    matrix.push(
+        Scenario::new(
+            CorpusShape::Large3,
+            CorruptionSpec::clean(),
+            EvalPath::ColdFit(Method::Rhchme),
+        )
+        .with_backend(ann),
+    );
+    matrix.push(
+        Scenario::new(
+            CorpusShape::Large3,
+            CorruptionSpec::clean(),
+            EvalPath::ServeFoldIn,
+        )
+        .with_backend(ann),
+    );
     matrix
 }
 
@@ -190,7 +248,7 @@ mod tests {
     #[test]
     fn quick_matrix_covers_methods_and_paths() {
         let m = quick_matrix();
-        assert_eq!(m.len(), 14);
+        assert_eq!(m.len(), 16);
         for method in HOCC_METHODS {
             assert!(
                 m.iter()
@@ -202,6 +260,12 @@ mod tests {
         }
         assert!(m.iter().any(|s| s.path == EvalPath::ServeFoldIn));
         assert!(m.iter().any(|s| s.path == EvalPath::StreamWarmRefit));
+        // The large-shape ANN cells gate the approximate graph path.
+        let ann: Vec<_> = m.iter().filter(|s| !s.backend.is_exact()).collect();
+        assert_eq!(ann.len(), 2);
+        assert!(ann.iter().all(|s| s.shape == CorpusShape::Large3));
+        assert!(ann.iter().any(|s| s.name == "clean/rhchme+rp_forest"));
+        assert!(ann.iter().any(|s| s.name == "clean/serve_foldin+rp_forest"));
     }
 
     #[test]
@@ -237,6 +301,7 @@ mod tests {
             CorpusShape::Balanced3,
             CorpusShape::Skewed5,
             CorpusShape::Tiny3,
+            CorpusShape::Large3,
         ] {
             let c = CorruptionSpec::clean().corpus(&shape.config(), 5);
             assert!(c.num_docs() >= 24);

@@ -67,7 +67,7 @@ use mtrl_obs::{Histogram, HistogramSnapshot};
 use mtrl_serve::{AssignRequest, AssignResponse, PendingAssign, ServeEngine, ServeError};
 use serde::Value;
 use std::collections::VecDeque;
-use std::io::{self, BufReader, Write};
+use std::io::{self, BufRead, BufReader, Cursor, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{channel, sync_channel, Receiver, Sender, SyncSender};
@@ -436,22 +436,63 @@ fn error_response(err: &ServeError) -> Response {
     response
 }
 
-fn handle_assign(inner: &Inner, path: &str, body: &[u8]) -> Response {
+/// A routed request whose response may still be in flight.
+///
+/// Assignments split into an *enqueue* phase (parse + admission, done
+/// while later pipelined requests are still being drained from the
+/// read buffer) and a *resolve* phase (wait on the engine reply).
+/// Enqueueing a whole pipelined burst before resolving lets the
+/// dispatcher coalesce the burst into one engine batch instead of
+/// serialising a round trip per request. Everything else resolves
+/// immediately.
+enum PendingResponse {
+    Ready(Response),
+    Assign {
+        model: String,
+        t0: Instant,
+        rx: Receiver<Result<AssignResponse, ServeError>>,
+    },
+}
+
+/// Enqueue phase of an assignment: parse the wire request and admit it
+/// to the coalesce queue without waiting for the engine.
+fn start_assign(inner: &Inner, path: &str, body: &[u8]) -> PendingResponse {
     let rest = &path["/v1/models/".len()..];
     let Some(model) = rest.strip_suffix("/assign") else {
-        return error_response(&ServeError::NotFound(path.to_string()));
+        return PendingResponse::Ready(error_response(&ServeError::NotFound(path.to_string())));
     };
     if model.is_empty() || model.contains('/') {
-        return error_response(&ServeError::NotFound(path.to_string()));
+        return PendingResponse::Ready(error_response(&ServeError::NotFound(path.to_string())));
     }
     let t0 = Instant::now();
-    let result = wire::parse_assign(model, body)
-        .and_then(|request| inner.enqueue(request))
-        .and_then(|rx| rx.recv().map_err(|_| ServeError::Shutdown)?);
-    inner.record_latency(t0.elapsed());
-    match result {
-        Ok(response) => Response::json(200, wire::assign_response_json(model, &response)),
-        Err(err) => error_response(&err),
+    match wire::parse_assign(model, body).and_then(|request| inner.enqueue(request)) {
+        Ok(rx) => PendingResponse::Assign {
+            model: model.to_string(),
+            t0,
+            rx,
+        },
+        Err(err) => {
+            inner.record_latency(t0.elapsed());
+            PendingResponse::Ready(error_response(&err))
+        }
+    }
+}
+
+/// Resolve phase: block on the engine reply (if any) and render it.
+fn resolve_response(inner: &Inner, pending: PendingResponse) -> Response {
+    match pending {
+        PendingResponse::Ready(response) => response,
+        PendingResponse::Assign { model, t0, rx } => {
+            let result = rx
+                .recv()
+                .map_err(|_| ServeError::Shutdown)
+                .and_then(|reply| reply);
+            inner.record_latency(t0.elapsed());
+            match result {
+                Ok(response) => Response::json(200, wire::assign_response_json(&model, &response)),
+                Err(err) => error_response(&err),
+            }
+        }
     }
 }
 
@@ -492,8 +533,20 @@ fn health_json(inner: &Inner) -> String {
     serde_json::to_string(&value).expect("value tree serialises")
 }
 
-fn route(inner: &Inner, request: &Request) -> Response {
+/// Route a parsed request: bump the request counter, start assignments
+/// (enqueue only), answer everything else immediately.
+fn route(inner: &Inner, request: &Request) -> PendingResponse {
     inner.bump(&inner.counters.requests, "gateway.requests", 1);
+    match (request.method.as_str(), request.path.as_str()) {
+        ("POST", path) if path.starts_with("/v1/models/") => {
+            start_assign(inner, path, &request.body)
+        }
+        _ => PendingResponse::Ready(route_immediate(inner, request)),
+    }
+}
+
+/// The non-assign routes, all of which resolve without the engine.
+fn route_immediate(inner: &Inner, request: &Request) -> Response {
     match (request.method.as_str(), request.path.as_str()) {
         ("GET", "/healthz") => Response::json(200, health_json(inner)),
         ("GET", "/metrics") => {
@@ -511,9 +564,6 @@ fn route(inner: &Inner, request: &Request) -> Response {
             let body = Value::Object(vec![("models".into(), models)]);
             Response::json(200, serde_json::to_string(&body).expect("value tree"))
         }
-        ("POST", path) if path.starts_with("/v1/models/") => {
-            handle_assign(inner, path, &request.body)
-        }
         (_, "/healthz" | "/metrics" | "/v1/models") => Response::json(
             405,
             wire::error_json(&ServeError::BadRequest("method not allowed".into())),
@@ -521,6 +571,10 @@ fn route(inner: &Inner, request: &Request) -> Response {
         _ => error_response(&ServeError::NotFound(request.path.clone())),
     }
 }
+
+/// Most requests accepted per pipelined burst before responses are
+/// written; bounds the per-connection pending set.
+const MAX_PIPELINE: usize = 32;
 
 fn handle_connection(inner: &Arc<Inner>, stream: TcpStream) {
     let _ = stream.set_read_timeout(Some(inner.config.read_timeout));
@@ -534,45 +588,74 @@ fn handle_connection(inner: &Arc<Inner>, stream: TcpStream) {
         if inner.shutdown.load(Ordering::Acquire) {
             return;
         }
-        let (response, keep_alive, body_in) = match http::read_request(&mut reader) {
+        // One blocking read yields the burst leader; parse errors
+        // produce an error response and close the connection, exactly
+        // as before pipelining.
+        let mut batch: Vec<(PendingResponse, bool, usize)> = Vec::new();
+        let mut keep_alive = match http::read_request(&mut reader) {
             Ok(request) => {
                 let keep = !request.wants_close();
-                let body_in = request.body.len();
-                (route(inner, &request), keep, body_in)
+                batch.push((route(inner, &request), keep, request.body.len()));
+                keep
             }
             Err(HttpError::Closed) | Err(HttpError::Io(_)) => return,
             Err(HttpError::Malformed(msg)) => {
-                (error_response(&ServeError::BadRequest(msg)), false, 0)
+                let response = error_response(&ServeError::BadRequest(msg));
+                batch.push((PendingResponse::Ready(response), false, 0));
+                false
             }
-            Err(HttpError::HeadTooLarge) => (
-                Response::json(
+            Err(HttpError::HeadTooLarge) => {
+                let response = Response::json(
                     431,
                     wire::error_json(&ServeError::BadRequest("header block too large".into())),
-                ),
-                false,
-                0,
-            ),
-            Err(HttpError::BodyTooLarge) => (
-                Response::json(
+                );
+                batch.push((PendingResponse::Ready(response), false, 0));
+                false
+            }
+            Err(HttpError::BodyTooLarge) => {
+                let response = Response::json(
                     413,
                     wire::error_json(&ServeError::BadRequest("body too large".into())),
-                ),
-                false,
-                0,
-            ),
-        };
-        match response.write_to(&mut writer, keep_alive) {
-            Ok(bytes_out) => {
-                inner.bump(
-                    &inner.counters.bytes,
-                    "gateway.bytes",
-                    (body_in + bytes_out) as u64,
                 );
+                batch.push((PendingResponse::Ready(response), false, 0));
+                false
             }
-            Err(_) => return,
+        };
+        // HTTP/1.1 pipelining: drain further *complete* requests the
+        // leader's socket read already buffered, enqueueing each before
+        // any response is written (one coalescing window for the whole
+        // burst). A partial or malformed tail is left buffered for the
+        // next blocking read — only fully parsed requests are consumed.
+        while keep_alive && batch.len() < MAX_PIPELINE {
+            let buffered = reader.buffer();
+            if buffered.is_empty() {
+                break;
+            }
+            let mut cursor = Cursor::new(buffered);
+            let Ok(request) = http::read_request(&mut cursor) else {
+                break;
+            };
+            let consumed = cursor.position() as usize;
+            keep_alive = !request.wants_close();
+            reader.consume(consumed);
+            batch.push((route(inner, &request), keep_alive, request.body.len()));
         }
-        if !keep_alive {
-            return;
+        // Responses go out strictly in request order.
+        for (pending, keep, body_in) in batch {
+            let response = resolve_response(inner, pending);
+            match response.write_to(&mut writer, keep) {
+                Ok(bytes_out) => {
+                    inner.bump(
+                        &inner.counters.bytes,
+                        "gateway.bytes",
+                        (body_in + bytes_out) as u64,
+                    );
+                }
+                Err(_) => return,
+            }
+            if !keep {
+                return;
+            }
         }
     }
 }

@@ -96,7 +96,11 @@ pub fn knn_indices_with_threads(data: &Mat, p: usize, threads: usize) -> Vec<Vec
 /// Subtract each column's mean. A column whose mean is non-finite (any
 /// NaN/∞ feature) is left untouched so one bad row poisons only its own
 /// distances, exactly like the uncentred kernel.
-fn center_columns(data: &Mat) -> Mat {
+///
+/// Public because approximate indexes (`mtrl-ann`) must centre their
+/// data with *this exact* transformation to stay on the bit-identical
+/// distance contract of [`gram_sq_dist`].
+pub fn center_columns(data: &Mat) -> Mat {
     let (n, d) = data.shape();
     if n == 0 {
         return data.clone();
@@ -260,6 +264,44 @@ pub fn gram_sq_dist(a: &[f64], b: &[f64], g_a: f64, g_b: f64) -> f64 {
     g_a + g_b + acc
 }
 
+/// Four [`gram_sq_dist`] evaluations of one query against four corpus
+/// rows with their accumulator chains interleaved. Each lane performs
+/// the identical ascending-`k` FMA sequence of the scalar function —
+/// the lanes are data-independent, so interleaving changes scheduling,
+/// never rounding — which makes every returned value bit-equal to the
+/// corresponding scalar call (pinned by `gram_sq_dist_x4_matches_scalar`).
+///
+/// The scalar chain is latency-bound (each `mul_add` waits on the
+/// previous one); four independent chains keep the FMA unit fed, which
+/// is worth ~3× on candidate re-ranking in `mtrl-ann`, where distances
+/// are evaluated per candidate instead of per blocked tile.
+///
+/// # Panics
+/// Panics if any `b` row length differs from `a`'s.
+#[inline]
+pub fn gram_sq_dist_x4(a: &[f64], b: [&[f64]; 4], g_a: f64, g_b: [f64; 4]) -> [f64; 4] {
+    let d = a.len();
+    let [b0, b1, b2, b3] = b;
+    assert_eq!(b0.len(), d, "row length mismatch");
+    assert_eq!(b1.len(), d, "row length mismatch");
+    assert_eq!(b2.len(), d, "row length mismatch");
+    assert_eq!(b3.len(), d, "row length mismatch");
+    let (mut a0, mut a1, mut a2, mut a3) = (0.0f64, 0.0f64, 0.0f64, 0.0f64);
+    for k in 0..d {
+        let m = -2.0 * a[k];
+        a0 = m.mul_add(b0[k], a0);
+        a1 = m.mul_add(b1[k], a1);
+        a2 = m.mul_add(b2[k], a2);
+        a3 = m.mul_add(b3[k], a3);
+    }
+    [
+        g_a + g_b[0] + a0,
+        g_a + g_b[1] + a1,
+        g_a + g_b[2] + a2,
+        g_a + g_b[3] + a3,
+    ]
+}
+
 /// Blocked Gram-trick distances of `queries` rows against **all**
 /// `corpus` rows, streamed to a per-query callback.
 ///
@@ -356,8 +398,13 @@ fn axpy4_fma(o: &mut [f64], a: [f64; 4], x: [&[f64]; 4]) {
 /// (NaN greater than every real), ascending index on ties. Both selection
 /// paths — this scan and [`select_p_nearest`] — pick the `p` smallest
 /// elements of the same order, so their neighbour *sets* always agree.
+///
+/// Public so candidate-based selections elsewhere (`mtrl-stream`'s
+/// incremental maintenance, `mtrl-ann`'s probe unions) pick the same
+/// `p` elements as the exact scan whenever their candidate sets cover
+/// the true neighbours.
 #[inline]
-fn dist_less(a: (f64, usize), b: (f64, usize)) -> bool {
+pub fn dist_less(a: (f64, usize), b: (f64, usize)) -> bool {
     a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)) == std::cmp::Ordering::Less
 }
 
@@ -405,8 +452,10 @@ fn top_p_scan(
 }
 
 /// Take the `p` smallest `(distance, index)` pairs, total-ordered with
-/// index tie-break, returned as index-sorted neighbour lists.
-fn select_p_nearest(scratch: &mut [(f64, usize)], p: usize) -> Vec<usize> {
+/// index tie-break, returned as index-sorted neighbour lists. The order
+/// is exactly [`dist_less`], so any candidate set that covers the true
+/// `p` nearest selects the exact neighbour list.
+pub fn select_p_nearest(scratch: &mut [(f64, usize)], p: usize) -> Vec<usize> {
     let k = p.min(scratch.len());
     if k > 0 && k < scratch.len() {
         scratch.select_nth_unstable_by(k - 1, |a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
@@ -879,6 +928,36 @@ mod tests {
         let w = pnn_graph(&data, 3, WeightScheme::Binary);
         for (i, j, _) in w.iter() {
             assert_eq!(i / 4, j / 4, "cross-cluster edge {i}-{j}");
+        }
+    }
+
+    #[test]
+    fn gram_sq_dist_x4_matches_scalar_bitwise() {
+        let data = rand_uniform(9, 37, -2.0, 2.0, 71);
+        let norms: Vec<f64> = (0..9).map(|i| dot(data.row(i), data.row(i))).collect();
+        let a = data.row(0);
+        for base in [1usize, 5] {
+            let rows = [
+                data.row(base),
+                data.row(base + 1),
+                data.row(base + 2),
+                data.row(base + 3),
+            ];
+            let g = [
+                norms[base],
+                norms[base + 1],
+                norms[base + 2],
+                norms[base + 3],
+            ];
+            let quad = gram_sq_dist_x4(a, rows, norms[0], g);
+            for lane in 0..4 {
+                let scalar = gram_sq_dist(a, rows[lane], norms[0], g[lane]);
+                assert_eq!(
+                    quad[lane].to_bits(),
+                    scalar.to_bits(),
+                    "lane {lane} diverged from the scalar chain"
+                );
+            }
         }
     }
 

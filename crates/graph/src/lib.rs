@@ -29,7 +29,8 @@ mod serde_impl;
 
 pub use ensemble::{hetero_ensemble, linear_combination};
 pub use knn::{
-    cross_sq_dist_map, gram_sq_dist, graph_from_neighbours, knn_indices, knn_indices_serial,
-    knn_indices_with_threads, pnn_graph, pnn_graph_with_threads, WeightScheme,
+    center_columns, cross_sq_dist_map, dist_less, gram_sq_dist, gram_sq_dist_x4,
+    graph_from_neighbours, knn_indices, knn_indices_serial, knn_indices_with_threads, pnn_graph,
+    pnn_graph_with_threads, select_p_nearest, WeightScheme,
 };
 pub use laplacian::{laplacian_csr, laplacian_dense, LaplacianKind};

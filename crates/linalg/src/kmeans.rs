@@ -5,8 +5,8 @@
 //! paper notes the final result is insensitive to the initialisation but
 //! uses k-means for the reported numbers, so we do too.
 
-use mtrl_linalg::vecops::sq_dist;
-use mtrl_linalg::Mat;
+use crate::vecops::sq_dist;
+use crate::Mat;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -180,7 +180,7 @@ pub fn labels_to_membership(labels: &[usize], k: usize, smoothing: f64) -> Mat {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use mtrl_linalg::random::rand_normal;
+    use crate::random::rand_normal;
 
     fn blobs(per: usize, seed: u64) -> (Mat, Vec<usize>) {
         // Three Gaussian blobs, well separated.
@@ -265,7 +265,7 @@ mod tests {
             let s: f64 = g.row(i).iter().sum();
             assert!((s - 1.0).abs() < 1e-12);
             // Dominant entry is the labelled one.
-            let max_j = mtrl_linalg::vecops::argmax(g.row(i)).unwrap();
+            let max_j = crate::vecops::argmax(g.row(i)).unwrap();
             assert_eq!(max_j, [0, 2, 1, 2][i]);
         }
         // No structural zeros.
@@ -275,7 +275,7 @@ mod tests {
     #[test]
     fn membership_clamps_out_of_range_labels() {
         let g = labels_to_membership(&[5], 3, 0.1);
-        assert_eq!(mtrl_linalg::vecops::argmax(g.row(0)).unwrap(), 2);
+        assert_eq!(crate::vecops::argmax(g.row(0)).unwrap(), 2);
     }
 
     #[test]

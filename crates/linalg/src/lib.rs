@@ -31,6 +31,7 @@
 pub mod block;
 pub mod eigen;
 pub mod error;
+pub mod kmeans;
 pub mod lowrank;
 pub mod mat;
 pub mod norms;

@@ -39,10 +39,20 @@
 //! batch kNN produces a bit-identical `Csr` (the cross-crate proptest in
 //! `tests/integration_stream.rs` fuzzes this over random batch splits
 //! and thread counts).
+//!
+//! With an approximate backend ([`DynamicGraphConfig::backend`]), the
+//! same maintenance runs against an incrementally maintained
+//! `mtrl_ann` index: inserts and removals route rows through the index
+//! (whose routing is a pure function of the row, so they land exactly
+//! where a batch build would place them) and neighbour candidates come
+//! from it instead of full scans. Distances, selection order and graph
+//! assembly are unchanged, so at exhaustive index settings the
+//! maintained graph is bit-identical to exact mode.
 
+use mtrl_ann::{build_any_index, insert_capped, AnyIndex, GraphBackend, NeighbourIndex};
 use mtrl_graph::{
-    cross_sq_dist_map, gram_sq_dist, graph_from_neighbours, laplacian_csr, LaplacianKind,
-    WeightScheme,
+    cross_sq_dist_map, dist_less, gram_sq_dist, graph_from_neighbours, laplacian_csr,
+    LaplacianKind, WeightScheme,
 };
 use mtrl_linalg::par::num_threads;
 use mtrl_linalg::vecops::dot;
@@ -62,6 +72,19 @@ pub struct DynamicGraphConfig {
     /// mutation triggers a full rebuild. `1.0` disables automatic
     /// rebuilds (the fraction never exceeds 1).
     pub rebuild_threshold: f64,
+    /// Neighbour-search backend. [`GraphBackend::Exact`] (the default)
+    /// keeps the blocked all-pairs kernel and the exact maintenance
+    /// contract. An approximate backend maintains an ANN index
+    /// incrementally — inserts and removals route through it, and
+    /// neighbour candidates come from it instead of full scans — so
+    /// per-mutation cost drops from `O(n · d)` per row to the index's
+    /// candidate volume. Distances and selection still go through the
+    /// exact kernel primitives: at exhaustive index settings the
+    /// maintained graph is bit-identical to exact mode, and at any
+    /// setting it is deterministic for a given mutation sequence.
+    /// Threshold rebuilds re-batch-build the index, healing leaf/tile
+    /// growth from long insert streams.
+    pub backend: GraphBackend,
 }
 
 impl Default for DynamicGraphConfig {
@@ -70,6 +93,7 @@ impl Default for DynamicGraphConfig {
             p: 5,
             scheme: WeightScheme::Cosine,
             rebuild_threshold: 0.5,
+            backend: GraphBackend::Exact,
         }
     }
 }
@@ -83,33 +107,6 @@ pub struct InsertReport {
     pub patched_rows: usize,
     /// Whether the rebuild threshold tripped and a full rebuild ran.
     pub rebuilt: bool,
-}
-
-/// `(dist, index)` strict total order of the batch kernel: `total_cmp`
-/// on the distance (NaN after every real), ascending index on ties.
-#[inline]
-fn dist_less(a: (f64, usize), b: (f64, usize)) -> bool {
-    a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)) == std::cmp::Ordering::Less
-}
-
-/// Insert `cand` into a `dist_less`-sorted list capped at `p` entries;
-/// returns whether the list changed.
-fn insert_capped(list: &mut Vec<(f64, usize)>, cand: (f64, usize), p: usize) -> bool {
-    if p == 0 {
-        return false;
-    }
-    if list.len() >= p {
-        let worst = *list.last().expect("p > 0");
-        if !dist_less(cand, worst) {
-            return false;
-        }
-    }
-    let pos = list.partition_point(|&e| dist_less(e, cand));
-    list.insert(pos, cand);
-    if list.len() > p {
-        list.pop();
-    }
-    true
 }
 
 /// Incrementally maintained pNN graph over a growing (and shrinking)
@@ -133,6 +130,9 @@ pub struct DynamicGraph {
     /// Rows patched since the last full build.
     patched: Vec<bool>,
     patched_rows: usize,
+    /// The maintained ANN index over alive centred rows (`None` in
+    /// exact mode). Refreshed by [`DynamicGraph::rebuild`].
+    index: Option<AnyIndex>,
 }
 
 impl DynamicGraph {
@@ -161,8 +161,14 @@ impl DynamicGraph {
             neigh: Vec::new(),
             patched: Vec::new(),
             patched_rows: 0,
+            index: None,
         };
+        // The initial batch always goes through the blocked exact kernel
+        // (fastest way to seed the lists); ANN mode then batch-builds its
+        // index over the seeded corpus so *subsequent* mutations route
+        // through it.
         g.insert_core(initial);
+        g.refresh_index();
         g
     }
 
@@ -259,6 +265,10 @@ impl DynamicGraph {
         self.neigh.extend(std::iter::repeat_with(Vec::new).take(b));
         self.patched.extend(std::iter::repeat_n(false, b));
 
+        if self.index.is_some() {
+            self.insert_lists_ann(base, b);
+            return;
+        }
         let p = self.cfg.p;
         let n_total = self.features.rows();
         let threads = auto_threads(b, n_total, self.dim);
@@ -313,6 +323,42 @@ impl DynamicGraph {
         }
     }
 
+    /// ANN-mode insertion: sequential maintenance through the index. Row
+    /// `r` enters the index, then selects its own neighbours from the
+    /// index's candidates — candidate sets therefore contain ids `≤ r`
+    /// only, so every pair is considered exactly once (when its later
+    /// row arrives), mirroring the exact path's contract on the index's
+    /// candidate subsets. Reverse patches repair earlier rows whose own
+    /// selection ran before `r` existed. Serial by construction, so the
+    /// result is a pure function of the mutation sequence.
+    fn insert_lists_ann(&mut self, base: usize, b: usize) {
+        let p = self.cfg.p;
+        let mut cands = Vec::new();
+        for r in base..base + b {
+            let row: Vec<f64> = self.centered.row(r).to_vec();
+            let index = self.index.as_mut().expect("ANN insert path");
+            index.insert(r, &row);
+            cands.clear();
+            index.candidates_into(&row, &mut cands);
+            cands.sort_unstable();
+            cands.dedup();
+            let gr = self.sq_norms[r];
+            let mut own: Vec<(f64, usize)> = Vec::with_capacity(p + 1);
+            for &j in &cands {
+                if j == r || !self.alive[j] {
+                    continue;
+                }
+                let d = gram_sq_dist(&row, self.centered.row(j), gr, self.sq_norms[j]);
+                insert_capped(&mut own, (d, j), p);
+                if insert_capped(&mut self.neigh[j], (d, r), p) && !self.patched[j] {
+                    self.patched[j] = true;
+                    self.patched_rows += 1;
+                }
+            }
+            self.neigh[r] = own;
+        }
+    }
+
     /// Tombstone row `idx`: it leaves every neighbour list, and each row
     /// that held it is exactly repaired by a fresh scan over the alive
     /// rows (same pair function as the batch kernel). Returns `false` if
@@ -325,6 +371,10 @@ impl DynamicGraph {
         self.alive[idx] = false;
         self.n_alive -= 1;
         self.neigh[idx].clear();
+        if let Some(index) = &mut self.index {
+            let row: Vec<f64> = self.centered.row(idx).to_vec();
+            index.remove(idx, &row);
+        }
         if !self.patched[idx] {
             self.patched[idx] = true;
             self.patched_rows += 1;
@@ -333,7 +383,7 @@ impl DynamicGraph {
             .filter(|&i| self.alive[i] && self.neigh[i].iter().any(|&(_, j)| j == idx))
             .collect();
         for i in damaged {
-            self.neigh[i] = self.scan_row(i);
+            self.neigh[i] = self.row_list(i);
             if !self.patched[i] {
                 self.patched[i] = true;
                 self.patched_rows += 1;
@@ -357,6 +407,48 @@ impl DynamicGraph {
             insert_capped(&mut list, (d, j), self.cfg.p);
         }
         list
+    }
+
+    /// Fresh p-nearest list of row `i` under the configured backend: a
+    /// full alive scan in exact mode, the index's candidate set in ANN
+    /// mode — distances and selection identical either way.
+    fn row_list(&self, i: usize) -> Vec<(f64, usize)> {
+        let Some(index) = &self.index else {
+            return self.scan_row(i);
+        };
+        let xi = self.centered.row(i);
+        let gi = self.sq_norms[i];
+        let mut cands = Vec::new();
+        index.candidates_into(xi, &mut cands);
+        cands.sort_unstable();
+        cands.dedup();
+        let mut list: Vec<(f64, usize)> = Vec::with_capacity(self.cfg.p + 1);
+        for &j in &cands {
+            if j == i || !self.alive[j] {
+                continue;
+            }
+            let d = gram_sq_dist(xi, self.centered.row(j), gi, self.sq_norms[j]);
+            insert_capped(&mut list, (d, j), self.cfg.p);
+        }
+        list
+    }
+
+    /// (Re)build the ANN index over the alive centred rows; no-op in
+    /// exact mode.
+    fn refresh_index(&mut self) {
+        if self.cfg.backend.is_exact() {
+            return;
+        }
+        let ids: Vec<usize> = (0..self.features.rows())
+            .filter(|&i| self.alive[i])
+            .collect();
+        let rows: Vec<Vec<f64>> = ids.iter().map(|&i| self.centered.row(i).to_vec()).collect();
+        let mat = if rows.is_empty() {
+            Mat::zeros(0, self.dim)
+        } else {
+            Mat::from_rows(&rows).expect("rectangular alive rows")
+        };
+        self.index = build_any_index(&mat, &ids, &self.cfg.backend);
     }
 
     fn maybe_rebuild(&mut self) -> bool {
@@ -386,28 +478,43 @@ impl DynamicGraph {
                 dot(r, r)
             })
             .collect();
-        let p = self.cfg.p;
-        let alive = &self.alive;
-        let threads = auto_threads(n_total, n_total, self.dim);
-        let lists: Vec<Vec<(f64, usize)>> = cross_sq_dist_map(
-            &self.centered,
-            &self.sq_norms,
-            &self.centered,
-            &self.sq_norms,
-            threads,
-            |i, strip| {
-                if !alive[i] {
-                    return Vec::new();
-                }
-                let mut own: Vec<(f64, usize)> = Vec::with_capacity(p + 1);
-                for (j, &d) in strip.iter().enumerate() {
-                    if j != i && alive[j] {
-                        insert_capped(&mut own, (d, j), p);
+        self.refresh_index();
+        let lists: Vec<Vec<(f64, usize)>> = if self.index.is_some() {
+            // ANN mode: fresh index, fresh candidate-based lists —
+            // `O(n · candidates · d)`, not the quadratic blocked pass.
+            (0..n_total)
+                .map(|i| {
+                    if self.alive[i] {
+                        self.row_list(i)
+                    } else {
+                        Vec::new()
                     }
-                }
-                own
-            },
-        );
+                })
+                .collect()
+        } else {
+            let p = self.cfg.p;
+            let alive = &self.alive;
+            let threads = auto_threads(n_total, n_total, self.dim);
+            cross_sq_dist_map(
+                &self.centered,
+                &self.sq_norms,
+                &self.centered,
+                &self.sq_norms,
+                threads,
+                |i, strip| {
+                    if !alive[i] {
+                        return Vec::new();
+                    }
+                    let mut own: Vec<(f64, usize)> = Vec::with_capacity(p + 1);
+                    for (j, &d) in strip.iter().enumerate() {
+                        if j != i && alive[j] {
+                            insert_capped(&mut own, (d, j), p);
+                        }
+                    }
+                    own
+                },
+            )
+        };
         self.neigh = lists;
         self.patched = vec![false; n_total];
         self.patched_rows = 0;
@@ -484,6 +591,7 @@ mod tests {
             p,
             scheme: WeightScheme::Cosine,
             rebuild_threshold: 1.0, // manual control in tests
+            backend: GraphBackend::Exact,
         }
     }
 
@@ -574,6 +682,7 @@ mod tests {
                 p: 3,
                 scheme: WeightScheme::Cosine,
                 rebuild_threshold: 0.0, // any patch trips it
+                backend: GraphBackend::Exact,
             },
         );
         // A duplicate of row 0 patches its nearest neighbours → rebuild.
@@ -606,6 +715,92 @@ mod tests {
         let mut g = DynamicGraph::new(&shifted.submatrix(0, 0, 25, 4), graph_cfg(4));
         g.insert_batch(&shifted.submatrix(25, 0, 15, 4));
         assert_eq!(g.graph(), pnn_graph(&shifted, 4, WeightScheme::Cosine));
+    }
+
+    #[test]
+    fn ann_exhaustive_backends_match_exact_mode_bitwise() {
+        // At exhaustive index settings the candidate sets cover every
+        // alive row, so the whole insert/remove/rebuild lifecycle must
+        // reproduce exact mode bit for bit.
+        let data = rand_uniform(70, 5, -1.0, 1.0, 107);
+        let run = |backend: GraphBackend| {
+            let mut g = DynamicGraph::new(
+                &data.submatrix(0, 0, 30, 5),
+                DynamicGraphConfig {
+                    p: 4,
+                    scheme: WeightScheme::Cosine,
+                    rebuild_threshold: 1.0,
+                    backend,
+                },
+            );
+            g.insert_batch(&data.submatrix(30, 0, 25, 5));
+            g.remove(12);
+            g.insert_batch(&data.submatrix(55, 0, 15, 5));
+            let before_rebuild = g.graph();
+            g.rebuild();
+            (before_rebuild, g.graph())
+        };
+        let exact = run(GraphBackend::Exact);
+        for backend in [
+            GraphBackend::ClusterPruned(mtrl_ann::ClusterParams {
+                tiles: 1,
+                probe_tiles: 1,
+                quantiser_sample: 24,
+                seed: 9,
+            }),
+            GraphBackend::RpForest(mtrl_ann::RpForestParams {
+                trees: 2,
+                leaf_size: 6,
+                probes: usize::MAX,
+                seed: 9,
+            }),
+        ] {
+            assert_eq!(run(backend), exact, "{}", backend.key());
+        }
+    }
+
+    #[test]
+    fn ann_default_mode_maintains_valid_lists() {
+        // Non-exhaustive settings: lists must stay structurally valid
+        // (sorted, alive-only, ≤ p, self-free) through a full lifecycle,
+        // and the run must be deterministic.
+        let data = rand_uniform(120, 6, -1.0, 1.0, 108);
+        let run = || {
+            let mut g = DynamicGraph::new(
+                &data.submatrix(0, 0, 60, 6),
+                DynamicGraphConfig {
+                    p: 5,
+                    scheme: WeightScheme::Cosine,
+                    rebuild_threshold: 1.0,
+                    backend: GraphBackend::RpForest(mtrl_ann::RpForestParams {
+                        trees: 4,
+                        leaf_size: 8,
+                        probes: 2,
+                        seed: 3,
+                    }),
+                },
+            );
+            g.insert_batch(&data.submatrix(60, 0, 40, 6));
+            g.remove(5);
+            g.remove(77);
+            g.insert_batch(&data.submatrix(100, 0, 20, 6));
+            g
+        };
+        let g = run();
+        assert_eq!(g.num_rows(), 120);
+        assert_eq!(g.num_alive(), 118);
+        for i in 0..120 {
+            let nb = g.neighbours(i);
+            if !g.is_alive(i) {
+                assert!(nb.is_empty());
+                continue;
+            }
+            assert!(nb.len() <= 5);
+            assert!(nb.windows(2).all(|w| w[0] < w[1]));
+            assert!(!nb.contains(&i));
+            assert!(nb.iter().all(|&j| g.is_alive(j)));
+        }
+        assert_eq!(g.graph(), run().graph(), "deterministic lifecycle");
     }
 
     #[test]

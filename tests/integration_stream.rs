@@ -17,6 +17,7 @@ fn dyn_cfg(p: usize) -> DynamicGraphConfig {
         p,
         scheme: WeightScheme::Cosine,
         rebuild_threshold: 1.0, // exercise the incremental path, not the fallback
+        ..DynamicGraphConfig::default()
     }
 }
 
