@@ -48,7 +48,8 @@ pub use cluster::ClusterIndex;
 pub use config::{ClusterParams, GraphBackend, RpForestParams};
 pub use forest::RpForestIndex;
 pub use index::{
-    build_any_index, build_index, insert_capped, knn_indices_backend, pnn_graph_backend,
-    select_from_candidates, AnyIndex, NeighbourIndex, QueryScratch,
+    build_any_index, build_index, insert_capped, knn_indices_backend, knn_indices_backend_prec,
+    pnn_graph_backend, pnn_graph_backend_prec, select_from_candidates, AnyIndex, NeighbourIndex,
+    QueryScratch,
 };
 pub use recall::{sampled_recall, RecallProbe, RecallResult};

@@ -17,9 +17,9 @@
 //! all.
 
 use crate::Result;
-use mtrl_ann::{pnn_graph_backend, GraphBackend};
+use mtrl_ann::{pnn_graph_backend_prec, GraphBackend};
 use mtrl_graph::{laplacian_csr, LaplacianKind, WeightScheme};
-use mtrl_linalg::Mat;
+use mtrl_linalg::{Mat, Precision};
 use mtrl_sparse::SparseBlockDiag;
 use mtrl_subspace::{affinity_to_weights, spg_affinity, SpgConfig};
 
@@ -65,9 +65,30 @@ pub fn pnn_laplacians_backend(
     kind: LaplacianKind,
     backend: &GraphBackend,
 ) -> Result<SparseBlockDiag> {
+    pnn_laplacians_backend_prec(features, p, scheme, kind, backend, Precision::F64)
+}
+
+/// [`pnn_laplacians_backend`] with an explicit kernel [`Precision`]:
+/// [`Precision::F32`] routes the neighbour search through the
+/// f32-storage Gram chain (`mtrl_graph::knn_f32` / the quantised ANN
+/// candidate path) while edge weighting and the Laplacian normalisation
+/// stay `f64`.
+pub fn pnn_laplacians_backend_prec(
+    features: &[Mat],
+    p: usize,
+    scheme: WeightScheme,
+    kind: LaplacianKind,
+    backend: &GraphBackend,
+    precision: Precision,
+) -> Result<SparseBlockDiag> {
     let blocks = features
         .iter()
-        .map(|f| laplacian_csr(&pnn_graph_backend(f, p, scheme, backend), kind))
+        .map(|f| {
+            laplacian_csr(
+                &pnn_graph_backend_prec(f, p, scheme, backend, precision),
+                kind,
+            )
+        })
         .collect();
     Ok(SparseBlockDiag::new(blocks)?)
 }

@@ -53,6 +53,7 @@ pub use mtrl_linalg::kmeans;
 pub use error::RhchmeError;
 pub use export::{FittedModel, SCHEMA_VERSION};
 pub use mtrl_ann::GraphBackend;
+pub use mtrl_linalg::Precision;
 pub use multitype::MultiTypeData;
 pub use pipeline::{run_method, Method, MethodOutput};
 pub use rhchme::{Rhchme, RhchmeConfig, RhchmeResult, WarmStart};

@@ -14,13 +14,13 @@
 
 use crate::engine::{run_engine, EngineConfig, EngineResult, GraphRegularizer};
 use crate::export::FittedModel;
-use crate::intra::{hetero_laplacian, pnn_laplacians_backend, subspace_laplacians};
+use crate::intra::{hetero_laplacian, pnn_laplacians_backend_prec, subspace_laplacians};
 use crate::kmeans::{kmeans, labels_to_membership};
 use crate::multitype::MultiTypeData;
 use crate::Result;
 use mtrl_graph::{LaplacianKind, WeightScheme};
 use mtrl_linalg::block::stack_membership;
-use mtrl_linalg::Mat;
+use mtrl_linalg::{Mat, Precision};
 use mtrl_subspace::SpgConfig;
 
 /// RHCHME hyper-parameters.
@@ -55,6 +55,13 @@ pub struct RhchmeConfig {
     /// corpora. Approximate backends change candidate generation only;
     /// distances and selection stay bit-identical to the exact kernel.
     pub graph_backend: mtrl_ann::GraphBackend,
+    /// Kernel storage precision for the hot loops: the pNN Gram chain
+    /// and the engine's SpMM / low-rank / residual kernels
+    /// ([`Precision::F32`] stores their operands in `f32`, accumulates
+    /// in `f64`). SPG subspace learning and all small dense algebra stay
+    /// `f64` in both modes. Composes with `graph_backend` exactly like
+    /// that knob: per-thread-count determinism holds within each mode.
+    pub precision: Precision,
     /// Laplacian normalisation (see `mtrl_graph::laplacian`).
     pub laplacian_kind: LaplacianKind,
     /// SPG iteration budget for stage 1.
@@ -82,6 +89,7 @@ impl Default for RhchmeConfig {
             p: 5,
             weight_scheme: WeightScheme::Cosine,
             graph_backend: mtrl_ann::GraphBackend::Exact,
+            precision: Precision::F64,
             laplacian_kind: LaplacianKind::SymNormalized,
             spg_max_iter: 80,
             max_iter: 100,
@@ -228,12 +236,13 @@ impl Rhchme {
             ..SpgConfig::default()
         };
         let l_s = subspace_laplacians(features, &spg_cfg, cfg.laplacian_kind)?;
-        let l_e = pnn_laplacians_backend(
+        let l_e = pnn_laplacians_backend_prec(
             features,
             cfg.p,
             cfg.weight_scheme,
             cfg.laplacian_kind,
             &cfg.graph_backend,
+            cfg.precision,
         )?;
         hetero_laplacian(&l_s, &l_e, cfg.alpha)
     }
@@ -259,6 +268,7 @@ impl Rhchme {
             max_iter,
             tol: cfg.tol,
             record_labels_for_type: cfg.record_doc_labels.then_some(0),
+            precision: cfg.precision,
             ..EngineConfig::default()
         };
         let engine_out = run_engine(&r, data, &GraphRegularizer::Fixed(l), g0, &engine_cfg)?;

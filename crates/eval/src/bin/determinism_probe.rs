@@ -1,7 +1,7 @@
 //! Byte-exact fit dump for the CI determinism leg.
 //!
 //! ```text
-//! determinism_probe <out_file> [--ann]
+//! determinism_probe <out_file> [--ann] [--f32]
 //! ```
 //!
 //! Runs one full RHCHME fit (corpus seeded from `MTRL_SEED`, quick
@@ -16,6 +16,11 @@
 //! (default parameters), extending the same contract to the ANN layer:
 //! index build, descent, and candidate re-ranking must also be
 //! thread-count invariant end to end.
+//!
+//! `--f32` runs the fit with the mixed-precision kernel backend
+//! (f32 storage, f64 accumulation). The contract is per-mode: f32
+//! results need not match f64 results, but within f32 mode every
+//! thread count must produce the same bytes.
 
 use mtrl_datagen::{seed_from_env, CorruptionSpec};
 use mtrl_eval::{quick_params, rhchme_config, CorpusShape};
@@ -24,20 +29,34 @@ use std::process::ExitCode;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let (out_path, ann) = match args.as_slice() {
-        [out_path] => (out_path, false),
-        [out_path, flag] if flag == "--ann" => (out_path, true),
-        _ => {
-            eprintln!("usage: determinism_probe <out_file> [--ann]");
-            return ExitCode::FAILURE;
+    let mut out_path = None;
+    let mut ann = false;
+    let mut f32_mode = false;
+    for a in &args {
+        match a.as_str() {
+            "--ann" => ann = true,
+            "--f32" => f32_mode = true,
+            _ if out_path.is_none() => out_path = Some(a.clone()),
+            _ => {
+                eprintln!("usage: determinism_probe <out_file> [--ann] [--f32]");
+                return ExitCode::FAILURE;
+            }
         }
+    }
+    let Some(out_path) = out_path else {
+        eprintln!("usage: determinism_probe <out_file> [--ann] [--f32]");
+        return ExitCode::FAILURE;
     };
+    let out_path = &out_path;
     let seed = seed_from_env(2015);
     let corpus =
         CorruptionSpec::relation_corruption(0.1).corpus(&CorpusShape::Balanced3.config(), seed);
     let mut params = quick_params(seed);
     if ann {
         params.graph_backend = rhchme::GraphBackend::RpForest(mtrl_ann::RpForestParams::default());
+    }
+    if f32_mode {
+        params.precision = rhchme::Precision::F32;
     }
     let rhchme = Rhchme::new(rhchme_config(&params));
     let result = match rhchme.fit_corpus(&corpus) {

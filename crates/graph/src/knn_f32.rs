@@ -1,0 +1,517 @@
+//! f32-storage twins of the Gram distance chain (mixed-precision mode).
+//!
+//! [`mtrl_linalg::Precision::F32`] halves the memory traffic of the pNN
+//! construction: the centred data and its transpose are stored as
+//! [`MatF32`], while every arithmetic step widens each element to `f64`
+//! and performs **the identical operation sequence** as the `f64` kernels
+//! in [`crate::knn`]. Widening `f32 → f64` is exact and `-2.0 * x` is
+//! exact in `f64`, so each kernel here is bit-equal to its `f64` twin
+//! applied to the widened (f32-quantised) operands — the tests pin this
+//! with `assert_eq!` on the raw values. Consequences:
+//!
+//! * per-thread-count byte-determinism holds in f32 mode for exactly the
+//!   same reason it holds in f64 mode (same ascending-`k` accumulation,
+//!   same tie-breaking) — the CI determinism job runs both modes;
+//! * quality stays pinned: the only perturbation relative to f64 mode is
+//!   the initial quantisation of the centred features through `f32`,
+//!   after which all accumulation is `f64`.
+//!
+//! Centring stays in `f64` (means of the raw data, exactly
+//! [`center_columns`]) and quantisation happens *after* centring; edge
+//! weighting ([`graph_from_neighbours`]) runs on the raw `f64` rows in
+//! both modes, so an f32 graph differs from its f64 sibling only where
+//! quantisation reorders a near-tied neighbour pair.
+
+use mtrl_linalg::par::par_chunks_map;
+use mtrl_linalg::{Mat, MatF32};
+use mtrl_sparse::Csr;
+
+use crate::knn::{
+    auto_threads, center_columns, graph_from_neighbours, top_p_scan, WeightScheme, TILE,
+};
+
+/// Strip width of the f32 tile kernel. Narrower than the f64 kernel's
+/// `JT` because the f32 kernel register-blocks **eight** query rows per
+/// `Xᵀ` pass (vs four): 8 strip accumulators × 256 × 8 B = 16 KiB of
+/// `f64` tile plus 4 KiB of `f32` strips sit comfortably in L1d.
+const JT32: usize = 256;
+
+/// f32-storage twin of [`crate::knn::knn_indices`]: `p` nearest
+/// neighbours of every row with the centred features quantised through
+/// `f32` and all accumulation in `f64`.
+pub fn knn_indices_f32(data: &Mat, p: usize) -> Vec<Vec<usize>> {
+    knn_indices_f32_with_threads(data, p, auto_threads(data))
+}
+
+/// [`knn_indices_f32`] with an explicit worker-thread count.
+///
+/// The output is bit-identical for every `threads` value.
+pub fn knn_indices_f32_with_threads(data: &Mat, p: usize, threads: usize) -> Vec<Vec<usize>> {
+    let n = data.rows();
+    // Centre in f64 (the exact `center_columns` transformation), then
+    // quantise. Quantise-after-centre keeps the origin inside the cloud
+    // regardless of where the raw data sits, so the f32 mantissa is
+    // spent on the pairwise separations, not on a common offset.
+    let centered = MatF32::from_mat(&center_columns(data));
+    // Squared norms of the rows *as stored* (widened f32 values), summed
+    // in the same ascending order as `vecops::dot` — bit-equal to
+    // `dot(row, row)` of the widened row.
+    let sq_norms: Vec<f64> = (0..n)
+        .map(|i| {
+            centered
+                .row(i)
+                .iter()
+                .map(|&v| {
+                    let w = v as f64;
+                    w * w
+                })
+                .sum()
+        })
+        .collect();
+    let xt = centered.transpose();
+    par_chunks_map(n, threads, |range| {
+        knn_rows_f32(&centered, &xt, &sq_norms, p, range.start, range.end)
+    })
+}
+
+/// Neighbour lists for rows `[r0, r1)` — the f32-storage mirror of
+/// `knn_rows`, sharing `top_p_scan` so selection and tie-breaking are
+/// identical by construction.
+fn knn_rows_f32(
+    data: &MatF32,
+    xt: &MatF32,
+    sq_norms: &[f64],
+    p: usize,
+    r0: usize,
+    r1: usize,
+) -> Vec<Vec<usize>> {
+    let n = data.rows();
+    let mut out = Vec::with_capacity(r1 - r0);
+    let mut tile_buf = vec![0.0; TILE.min(r1 - r0).max(1) * n];
+    let mut scratch: Vec<(f64, usize)> = Vec::with_capacity(p + 1);
+    let mut t0 = r0;
+    while t0 < r1 {
+        let t1 = (t0 + TILE).min(r1);
+        let rows = t1 - t0;
+        gram_tile_neg2_f32(data, xt, t0, t1, &mut tile_buf);
+        for local in 0..rows {
+            let i = t0 + local;
+            let brow = &tile_buf[local * n..(local + 1) * n];
+            out.push(top_p_scan(brow, sq_norms, i, p, &mut scratch));
+        }
+        t0 = t1;
+    }
+    out
+}
+
+/// f32-storage mirror of `gram_tile_neg2`: accumulate
+/// `tile_buf[local][j] = −2 · src[t0 + local] · Xᵀ[.., j]` with `src` and
+/// `xt` stored as `f32` and the tile accumulated in `f64`. Each element
+/// is widened exactly once and every output `(i, j)` accumulates its
+/// `k` terms in the same ascending order through the same FMA chain as
+/// the `f64` kernel, so each value is bit-equal to `gram_tile_neg2` on
+/// the widened matrices.
+///
+/// The blocking differs from the `f64` kernel where it pays: **eight**
+/// query rows share each pass over the `f32` strips of `Xᵀ` (the `f64`
+/// kernel uses four). Row-grouping only changes how often `Xᵀ` is
+/// re-streamed, never the per-output rounding sequence, so the wider
+/// group is bitwise free — and it halves the `Xᵀ` traffic on top of the
+/// halved element width. Each element is widened at its point of use
+/// (`vcvtps2pd` fuses with the load); widening into an `f64` scratch
+/// first was measured slower — the extra L1 store/reload costs more
+/// than the fused converts it saves. The entire bandwidth win of
+/// mixed-precision mode lives here: at shapes where `Xᵀ` spills L2 in
+/// `f64` but not in `f32` (e.g. `n = 2000, d = 256` against a 2 MiB
+/// L2), the two effects compound.
+fn gram_tile_neg2_f32(src: &MatF32, xt: &MatF32, t0: usize, t1: usize, tile_buf: &mut [f64]) {
+    let n = xt.cols();
+    let d = src.cols();
+    let rows = t1 - t0;
+    tile_buf[..rows * n].fill(0.0);
+    let mut brows: Vec<&mut [f64]> = tile_buf[..rows * n].chunks_mut(n.max(1)).collect();
+    for (g, group) in brows.chunks_mut(8).enumerate() {
+        let i0 = t0 + g * 8;
+        if let [b0, b1, b2, b3, b4, b5, b6, b7] = group {
+            let xr = [
+                src.row(i0),
+                src.row(i0 + 1),
+                src.row(i0 + 2),
+                src.row(i0 + 3),
+                src.row(i0 + 4),
+                src.row(i0 + 5),
+                src.row(i0 + 6),
+                src.row(i0 + 7),
+            ];
+            let mut jt = 0;
+            while jt < n {
+                let je = (jt + JT32).min(n);
+                let mut k = 0;
+                while k + 4 <= d {
+                    let xk = [
+                        &xt.row(k)[jt..je],
+                        &xt.row(k + 1)[jt..je],
+                        &xt.row(k + 2)[jt..je],
+                        &xt.row(k + 3)[jt..je],
+                    ];
+                    for (b, x) in [&mut **b0, b1, b2, b3, b4, b5, b6, b7].into_iter().zip(xr) {
+                        let a = [
+                            -2.0 * x[k] as f64,
+                            -2.0 * x[k + 1] as f64,
+                            -2.0 * x[k + 2] as f64,
+                            -2.0 * x[k + 3] as f64,
+                        ];
+                        axpy4_fma_f32(&mut b[jt..je], a, xk);
+                    }
+                    k += 4;
+                }
+                while k < d {
+                    let xk = &xt.row(k)[jt..je];
+                    for (b, x) in [&mut **b0, b1, b2, b3, b4, b5, b6, b7].into_iter().zip(xr) {
+                        axpy1_fma_f32(&mut b[jt..je], -2.0 * x[k] as f64, xk);
+                    }
+                    k += 1;
+                }
+                jt = je;
+            }
+        } else {
+            for (local, brow) in group.iter_mut().enumerate() {
+                let xrow = src.row(i0 + local);
+                for (k, &xv) in xrow.iter().enumerate() {
+                    axpy1_fma_f32(brow, -2.0 * xv as f64, xt.row(k));
+                }
+            }
+        }
+    }
+}
+
+/// f32-storage twin of [`crate::knn::gram_sq_dist`]: the cross term
+/// widens each element and performs the same ascending-`k` FMA chain, so
+/// the value is bit-equal to `gram_sq_dist` on the widened rows.
+#[inline]
+pub fn gram_sq_dist_f32(a: &[f32], b: &[f32], g_a: f64, g_b: f64) -> f64 {
+    let mut acc = 0.0;
+    for (&av, &bv) in a.iter().zip(b) {
+        acc = (-2.0 * av as f64).mul_add(bv as f64, acc);
+    }
+    g_a + g_b + acc
+}
+
+/// f32-storage twin of [`crate::knn::gram_sq_dist_x4`]: four interleaved
+/// [`gram_sq_dist_f32`] lanes, each bit-equal to its scalar call.
+///
+/// # Panics
+/// Panics if any `b` row length differs from `a`'s.
+#[inline]
+pub fn gram_sq_dist_x4_f32(a: &[f32], b: [&[f32]; 4], g_a: f64, g_b: [f64; 4]) -> [f64; 4] {
+    let d = a.len();
+    let [b0, b1, b2, b3] = b;
+    assert_eq!(b0.len(), d, "row length mismatch");
+    assert_eq!(b1.len(), d, "row length mismatch");
+    assert_eq!(b2.len(), d, "row length mismatch");
+    assert_eq!(b3.len(), d, "row length mismatch");
+    let (mut a0, mut a1, mut a2, mut a3) = (0.0f64, 0.0f64, 0.0f64, 0.0f64);
+    for k in 0..d {
+        let m = -2.0 * a[k] as f64;
+        a0 = m.mul_add(b0[k] as f64, a0);
+        a1 = m.mul_add(b1[k] as f64, a1);
+        a2 = m.mul_add(b2[k] as f64, a2);
+        a3 = m.mul_add(b3[k] as f64, a3);
+    }
+    [
+        g_a + g_b[0] + a0,
+        g_a + g_b[1] + a1,
+        g_a + g_b[2] + a2,
+        g_a + g_b[3] + a3,
+    ]
+}
+
+/// f32-storage twin of [`crate::knn::cross_sq_dist_map`]: blocked
+/// distances of `queries` rows against all `corpus` rows with both
+/// operands stored as `f32`. Strip values are bit-equal to the `f64`
+/// kernel on the widened matrices (given matching widened norms).
+///
+/// # Panics
+/// Panics if the column counts differ or a norm slice has the wrong
+/// length.
+pub fn cross_sq_dist_map_f32<T, F>(
+    queries: &MatF32,
+    q_norms: &[f64],
+    corpus: &MatF32,
+    c_norms: &[f64],
+    threads: usize,
+    f: F,
+) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize, &[f64]) -> T + Sync,
+{
+    assert_eq!(
+        queries.cols(),
+        corpus.cols(),
+        "cross_sq_dist_map_f32: dimension mismatch"
+    );
+    assert_eq!(q_norms.len(), queries.rows(), "q_norms length");
+    assert_eq!(c_norms.len(), corpus.rows(), "c_norms length");
+    let n = corpus.rows();
+    if n == 0 {
+        return (0..queries.rows()).map(|q| f(q, &[])).collect();
+    }
+    let ct = corpus.transpose();
+    par_chunks_map(queries.rows(), threads, |range| {
+        let mut out = Vec::with_capacity(range.len());
+        let mut tile_buf = vec![0.0; TILE.min(range.len().max(1)) * n];
+        let mut t0 = range.start;
+        while t0 < range.end {
+            let t1 = (t0 + TILE).min(range.end);
+            gram_tile_neg2_f32(queries, &ct, t0, t1, &mut tile_buf);
+            for local in 0..(t1 - t0) {
+                let q = t0 + local;
+                let gq = q_norms[q];
+                let strip = &mut tile_buf[local * n..(local + 1) * n];
+                for (s, &gj) in strip.iter_mut().zip(c_norms) {
+                    *s += gq + gj;
+                }
+                out.push(f(q, strip));
+            }
+            t0 = t1;
+        }
+        out
+    })
+}
+
+/// `o[j] += a · x[j]` with `x` stored as `f32`, one widening + one FMA
+/// per element — the same rounding sequence as `axpy1_fma` on the
+/// widened strip.
+#[inline]
+fn axpy1_fma_f32(o: &mut [f64], a: f64, x: &[f32]) {
+    for (ov, &xv) in o.iter_mut().zip(x) {
+        *ov = a.mul_add(xv as f64, *ov);
+    }
+}
+
+/// Four accumulation steps per element in ascending-`k` order over `f32`
+/// strips — the widened mirror of `axpy4_fma`.
+#[inline]
+fn axpy4_fma_f32(o: &mut [f64], a: [f64; 4], x: [&[f32]; 4]) {
+    let [x0, x1, x2, x3] = x;
+    for ((((ov, &v0), &v1), &v2), &v3) in o.iter_mut().zip(x0).zip(x1).zip(x2).zip(x3) {
+        *ov = a[3].mul_add(
+            v3 as f64,
+            a[2].mul_add(
+                v2 as f64,
+                a[1].mul_add(v1 as f64, a[0].mul_add(v0 as f64, *ov)),
+            ),
+        );
+    }
+}
+
+/// f32-storage twin of [`crate::knn::pnn_graph`]: the kNN search runs on
+/// quantised centred features, then the weighting + symmetrisation half
+/// ([`graph_from_neighbours`]) runs on the **raw `f64` rows**, exactly
+/// as in f64 mode — weights are pairwise functions of the data, so only
+/// the neighbour *sets* feel the quantisation.
+pub fn pnn_graph_f32(data: &Mat, p: usize, scheme: WeightScheme) -> Csr {
+    pnn_graph_f32_with_threads(data, p, scheme, auto_threads(data))
+}
+
+/// [`pnn_graph_f32`] with an explicit worker-thread count; bit-identical
+/// output for every `threads` value.
+pub fn pnn_graph_f32_with_threads(
+    data: &Mat,
+    p: usize,
+    scheme: WeightScheme,
+    threads: usize,
+) -> Csr {
+    let _span = mtrl_obs::span!("graph.pnn_build");
+    let neighbours = {
+        let _search_span = mtrl_obs::span!("graph.knn_search");
+        knn_indices_f32_with_threads(data, p, threads)
+    };
+    let _weights_span = mtrl_obs::span!("graph.weights");
+    graph_from_neighbours(data, &neighbours, scheme, threads)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::knn::{cross_sq_dist_map, gram_sq_dist, knn_indices_with_threads, select_p_nearest};
+    use mtrl_linalg::random::rand_uniform;
+    use mtrl_linalg::vecops::dot;
+
+    fn widen_slice(a: &[f32]) -> Vec<f64> {
+        a.iter().map(|&v| v as f64).collect()
+    }
+
+    #[test]
+    fn gram_sq_dist_f32_bit_equal_reference_on_widened_rows() {
+        let m = MatF32::from_mat(&rand_uniform(6, 33, -2.0, 2.0, 7));
+        let w = m.widen();
+        for i in 0..m.rows() {
+            for j in 0..m.rows() {
+                let (ai, aj) = (m.row(i), m.row(j));
+                let (wi, wj) = (w.row(i), w.row(j));
+                let (gi, gj) = (dot(wi, wi), dot(wj, wj));
+                let d32 = gram_sq_dist_f32(ai, aj, gi, gj);
+                let d64 = gram_sq_dist(wi, wj, gi, gj);
+                assert_eq!(d32.to_bits(), d64.to_bits(), "pair ({i}, {j})");
+            }
+        }
+    }
+
+    #[test]
+    fn gram_sq_dist_x4_f32_matches_scalar_bitwise() {
+        let m = MatF32::from_mat(&rand_uniform(5, 19, -1.0, 1.0, 11));
+        let w = m.widen();
+        let q = m.row(0);
+        let b = [m.row(1), m.row(2), m.row(3), m.row(4)];
+        let g: Vec<f64> = (0..5).map(|i| dot(w.row(i), w.row(i))).collect();
+        let quad = gram_sq_dist_x4_f32(q, b, g[0], [g[1], g[2], g[3], g[4]]);
+        for lane in 0..4 {
+            let scalar = gram_sq_dist_f32(q, b[lane], g[0], g[lane + 1]);
+            assert_eq!(quad[lane].to_bits(), scalar.to_bits(), "lane {lane}");
+        }
+    }
+
+    #[test]
+    fn blocked_f32_kernel_bit_equal_pair_function() {
+        // The knn path must produce exactly the neighbour lists of the
+        // pair-function reference on the same quantised operands: the
+        // blocked f32 tile kernel, the x4 kernel and `gram_sq_dist_f32`
+        // all share one rounding sequence.
+        let data = rand_uniform(83, 13, -3.0, 3.0, 23);
+        let p = 6;
+        let centered = MatF32::from_mat(&center_columns(&data));
+        let w = centered.widen();
+        let n = data.rows();
+        let g: Vec<f64> = (0..n).map(|i| dot(w.row(i), w.row(i))).collect();
+        let mut expected = Vec::with_capacity(n);
+        for i in 0..n {
+            let mut scratch: Vec<(f64, usize)> = (0..n)
+                .filter(|&j| j != i)
+                .map(|j| {
+                    (
+                        gram_sq_dist_f32(centered.row(i), centered.row(j), g[i], g[j]),
+                        j,
+                    )
+                })
+                .collect();
+            expected.push(select_p_nearest(&mut scratch, p));
+        }
+        assert_eq!(knn_indices_f32_with_threads(&data, p, 1), expected);
+    }
+
+    #[test]
+    fn f32_knn_parallel_bit_identical_to_serial() {
+        let data = rand_uniform(301, 17, -1.0, 4.0, 31);
+        let serial = knn_indices_f32_with_threads(&data, 5, 1);
+        for threads in [2, 3, 8] {
+            assert_eq!(
+                knn_indices_f32_with_threads(&data, 5, threads),
+                serial,
+                "threads = {threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn f32_lists_match_f64_on_well_separated_data() {
+        // Quantisation can only flip near-ties; on clustered data with
+        // clear margins the f32 neighbour lists equal the f64 ones.
+        let mut data = rand_uniform(120, 8, 0.0, 1.0, 43);
+        for i in 0..data.rows() {
+            let shift = (i % 3) as f64 * 50.0;
+            for v in data.row_mut(i) {
+                *v += shift;
+            }
+        }
+        assert_eq!(
+            knn_indices_f32_with_threads(&data, 7, 2),
+            knn_indices_with_threads(&data, 7, 2),
+        );
+    }
+
+    #[test]
+    fn cross_f32_bit_equal_reference_on_widened_operands() {
+        let queries = MatF32::from_mat(&rand_uniform(37, 9, -2.0, 2.0, 3));
+        let corpus = MatF32::from_mat(&rand_uniform(111, 9, -2.0, 2.0, 5));
+        let (qw, cw) = (queries.widen(), corpus.widen());
+        let q_norms: Vec<f64> = (0..qw.rows()).map(|i| dot(qw.row(i), qw.row(i))).collect();
+        let c_norms: Vec<f64> = (0..cw.rows()).map(|i| dot(cw.row(i), cw.row(i))).collect();
+        for threads in [1, 4] {
+            let got =
+                cross_sq_dist_map_f32(&queries, &q_norms, &corpus, &c_norms, threads, |q, s| {
+                    (q, s.to_vec())
+                });
+            let want = cross_sq_dist_map(&qw, &q_norms, &cw, &c_norms, 1, |q, s| (q, s.to_vec()));
+            assert_eq!(got, want, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn cross_f32_strip_matches_pair_function_bitwise() {
+        let queries = MatF32::from_mat(&rand_uniform(9, 21, -1.0, 1.0, 13));
+        let corpus = MatF32::from_mat(&rand_uniform(64, 21, -1.0, 1.0, 17));
+        let q_norms: Vec<f64> = (0..queries.rows())
+            .map(|i| dot(&widen_slice(queries.row(i)), &widen_slice(queries.row(i))))
+            .collect();
+        let c_norms: Vec<f64> = (0..corpus.rows())
+            .map(|j| dot(&widen_slice(corpus.row(j)), &widen_slice(corpus.row(j))))
+            .collect();
+        cross_sq_dist_map_f32(&queries, &q_norms, &corpus, &c_norms, 1, |q, strip| {
+            for (j, &s) in strip.iter().enumerate() {
+                let pair = gram_sq_dist_f32(queries.row(q), corpus.row(j), q_norms[q], c_norms[j]);
+                assert_eq!(s.to_bits(), pair.to_bits(), "pair ({q}, {j})");
+            }
+        });
+    }
+
+    #[test]
+    fn cross_f32_empty_corpus_yields_empty_strips() {
+        let queries = MatF32::from_mat(&rand_uniform(4, 6, -1.0, 1.0, 29));
+        let q_norms = vec![0.0; 4];
+        let corpus = MatF32::zeros(0, 6);
+        let lens = cross_sq_dist_map_f32(&queries, &q_norms, &corpus, &[], 1, |_, s| s.len());
+        assert_eq!(lens, vec![0; 4]);
+    }
+
+    #[test]
+    fn pnn_graph_f32_symmetric_nonneg_zero_diag_and_threads_agree() {
+        let data = rand_uniform(90, 6, -1.0, 1.0, 37);
+        let g1 = pnn_graph_f32_with_threads(&data, 4, WeightScheme::HeatKernel { sigma: 0.0 }, 1);
+        assert!(g1.is_symmetric(1e-12));
+        for (i, j, v) in g1.iter() {
+            assert!(v >= 0.0);
+            assert_ne!(i, j, "zero diagonal");
+        }
+        for threads in [2, 4] {
+            let gt = pnn_graph_f32_with_threads(
+                &data,
+                4,
+                WeightScheme::HeatKernel { sigma: 0.0 },
+                threads,
+            );
+            assert_eq!(gt.to_dense().as_slice(), g1.to_dense().as_slice());
+        }
+    }
+
+    #[test]
+    fn pnn_graph_f32_weights_come_from_raw_rows() {
+        // Same neighbour lists on well-separated data ⇒ the f32 graph is
+        // byte-identical to the f64 one, because weighting runs on raw
+        // f64 rows in both modes.
+        let mut data = rand_uniform(60, 5, 0.0, 1.0, 41);
+        for i in 0..data.rows() {
+            let shift = (i % 2) as f64 * 40.0;
+            for v in data.row_mut(i) {
+                *v += shift;
+            }
+        }
+        let f32_graph = pnn_graph_f32_with_threads(&data, 3, WeightScheme::Cosine, 2);
+        let f64_graph = crate::knn::pnn_graph_with_threads(&data, 3, WeightScheme::Cosine, 2);
+        assert_eq!(
+            f32_graph.to_dense().as_slice(),
+            f64_graph.to_dense().as_slice()
+        );
+    }
+}

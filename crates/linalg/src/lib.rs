@@ -9,6 +9,8 @@
 //! primitives without any external BLAS:
 //!
 //! * [`Mat`] — a row-major dense `f64` matrix with cache-friendly row access;
+//! * [`MatF32`] + [`Precision`] — the f32-storage / f64-accumulation
+//!   backend of the mixed-precision hot loops ([`matf32`], [`precision`]);
 //! * blocked and multi-threaded matrix products ([`ops`]);
 //! * the scoped-thread worker pool shared by every parallel kernel in
 //!   the workspace ([`par`]; `MTRL_NUM_THREADS` overrides the count);
@@ -34,10 +36,12 @@ pub mod error;
 pub mod kmeans;
 pub mod lowrank;
 pub mod mat;
+pub mod matf32;
 pub mod norms;
 pub mod ops;
 pub mod par;
 pub mod parts;
+pub mod precision;
 pub mod random;
 mod serde_impl;
 pub mod simplex;
@@ -47,6 +51,8 @@ pub mod vecops;
 pub use block::{BlockDiag, BlockSpec};
 pub use error::LinalgError;
 pub use mat::Mat;
+pub use matf32::MatF32;
+pub use precision::Precision;
 
 /// Numerical floor used to guard divisions in multiplicative updates.
 ///

@@ -1,0 +1,176 @@
+//! Dense row-major `f32` storage matrix for the mixed-precision kernels.
+//!
+//! [`MatF32`] is the storage half of the f32-storage / f64-accumulation
+//! contract ([`crate::precision::Precision`]): hot kernels read `f32`
+//! operand rows (half the bandwidth of [`Mat`]) and widen each element
+//! to `f64` before it enters an accumulation chain. Widening is exact,
+//! so a kernel that widens and then performs the *same* `f64` operation
+//! sequence as its reference is bit-identical to that reference applied
+//! to the widened operands — the property the cross-precision tests pin.
+//!
+//! It is intentionally not a general matrix type: no arithmetic lives
+//! here, only storage, conversion and the row access the kernels need.
+//! Constructors record into the same [`crate::mat::alloc_peak`] oracle
+//! as [`Mat`] (element counts, conservatively ignoring the halved
+//! element width), so the engine's no-`n x n`-allocation guarantee is
+//! enforced in both precision modes.
+
+use crate::mat::{alloc_peak, Mat};
+
+/// Dense row-major matrix of `f32` — storage for the mixed-precision
+/// kernels, always accumulated in `f64`.
+#[derive(PartialEq, Debug)]
+pub struct MatF32 {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl MatF32 {
+    /// Create a `rows x cols` matrix of zeros.
+    ///
+    /// # Panics
+    /// Panics if `rows * cols` overflows `usize`.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        let len = rows
+            .checked_mul(cols)
+            .expect("matrix dimensions overflow usize");
+        alloc_peak::record(len);
+        MatF32 {
+            rows,
+            cols,
+            data: vec![0.0; len],
+        }
+    }
+
+    /// Round every entry of `m` to `f32` storage.
+    pub fn from_mat(m: &Mat) -> Self {
+        alloc_peak::record(m.len());
+        MatF32 {
+            rows: m.rows(),
+            cols: m.cols(),
+            data: m.as_slice().iter().map(|&v| v as f32).collect(),
+        }
+    }
+
+    /// Widen back to an `f64` [`Mat`] whose entries are exactly the
+    /// stored `f32` values. `MatF32::from_mat(m).widen()` is therefore
+    /// the "quantise through f32" map the F32 mode applies to operands.
+    pub fn widen(&self) -> Mat {
+        Mat::from_vec(
+            self.rows,
+            self.cols,
+            self.data.iter().map(|&v| v as f64).collect(),
+        )
+        .expect("shape is consistent by construction")
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)` pair.
+    #[inline]
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Total number of entries.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// `true` if the matrix has zero entries (degenerate shape).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Borrow the underlying row-major data.
+    #[inline]
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Borrow row `i` as a slice.
+    ///
+    /// # Panics
+    /// Panics if `i >= rows`.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[f32] {
+        debug_assert!(i < self.rows);
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Return the transpose as a new matrix (blocked like
+    /// [`Mat::transpose`]).
+    pub fn transpose(&self) -> MatF32 {
+        let mut t = MatF32::zeros(self.cols, self.rows);
+        const B: usize = 32;
+        for ib in (0..self.rows).step_by(B) {
+            for jb in (0..self.cols).step_by(B) {
+                let imax = (ib + B).min(self.rows);
+                let jmax = (jb + B).min(self.cols);
+                for i in ib..imax {
+                    let src = &self.data[i * self.cols..(i + 1) * self.cols];
+                    for (j, &v) in src.iter().enumerate().take(jmax).skip(jb) {
+                        t.data[j * self.rows + i] = v;
+                    }
+                }
+            }
+        }
+        t
+    }
+}
+
+impl Clone for MatF32 {
+    // Manual so the [`alloc_peak`] oracle sees clones of large matrices
+    // too, matching `Mat`'s convention.
+    fn clone(&self) -> Self {
+        alloc_peak::record(self.data.len());
+        MatF32 {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_is_quantisation() {
+        let m = Mat::from_fn(5, 3, |i, j| 0.1 * (i * 3 + j) as f64 + 1.0 / 3.0);
+        let q = MatF32::from_mat(&m).widen();
+        assert_eq!(q.shape(), m.shape());
+        for (a, b) in q.as_slice().iter().zip(m.as_slice()) {
+            assert_eq!(*a, (*b as f32) as f64);
+        }
+    }
+
+    #[test]
+    fn transpose_matches_f64_transpose() {
+        let m = Mat::from_fn(70, 45, |i, j| (i * 1000 + j) as f64 * 0.25);
+        let t32 = MatF32::from_mat(&m).transpose();
+        let t = m.transpose();
+        assert_eq!(t32.widen(), t);
+    }
+
+    #[test]
+    fn records_alloc_peak() {
+        alloc_peak::reset();
+        let _m = MatF32::zeros(10, 7);
+        assert!(alloc_peak::peak_elems() >= 70);
+    }
+}

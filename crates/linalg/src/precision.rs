@@ -1,0 +1,70 @@
+//! The storage-precision knob for the mixed-precision kernel backend.
+//!
+//! [`Precision`] selects how the hot kernels *store* their operands —
+//! accumulation is always `f64` in both modes, so switching precision
+//! trades memory bandwidth (and therefore wall-clock on the
+//! bandwidth-bound loops) against the last ~7 decimal digits of the
+//! stored values, never against accumulation error. Configs across the
+//! workspace (`RhchmeConfig`, `PipelineParams`, the eval scenarios,
+//! `mtrl-stream`'s dynamic-graph config) carry this enum the same way
+//! they carry the ANN `GraphBackend`: switching a fit is a config
+//! change, never a new call site.
+//!
+//! The determinism contract is *per mode*: within [`Precision::F64`] and
+//! within [`Precision::F32`] results are bit-identical across thread
+//! counts, but the two modes legitimately differ from each other (f32
+//! storage rounds the operands).
+
+/// Storage precision of the hot kernel operands (`f64` accumulation in
+/// both modes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, serde::Serialize, serde::Deserialize)]
+pub enum Precision {
+    /// Full double-precision storage — the reference mode.
+    #[default]
+    F64,
+    /// Single-precision storage with double-precision accumulation:
+    /// halved bandwidth on the Gram/SpMM/low-rank hot loops, quality
+    /// pinned by the eval gates.
+    F32,
+}
+
+impl Precision {
+    /// Whether this is the full-precision reference mode.
+    pub fn is_f64(&self) -> bool {
+        matches!(self, Precision::F64)
+    }
+
+    /// Short stable key for report/bench entry names.
+    pub fn key(&self) -> &'static str {
+        match self {
+            Precision::F64 => "f64",
+            Precision::F32 => "f32",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde::{Deserialize, Serialize, Value};
+
+    #[test]
+    fn default_is_f64() {
+        assert!(Precision::default().is_f64());
+        assert!(!Precision::F32.is_f64());
+    }
+
+    #[test]
+    fn keys_are_distinct() {
+        assert_ne!(Precision::F64.key(), Precision::F32.key());
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        for p in [Precision::F64, Precision::F32] {
+            assert_eq!(Precision::from_value(&p.to_value()).unwrap(), p);
+        }
+        assert_eq!(Precision::F32.to_value(), Value::String("F32".into()));
+        assert!(Precision::from_value(&Value::String("F16".into())).is_err());
+    }
+}

@@ -1,0 +1,396 @@
+//! `f32`-storage CSR and block-diagonal operators for the
+//! mixed-precision engine path.
+//!
+//! [`CsrF32`] halves the per-entry stream of [`Csr`] twice over: column
+//! indices shrink to `u32` and values to `f32` (16 → 8 bytes per stored
+//! entry), and the dense operand arrives as [`MatF32`] — so the two
+//! `O(nnz · c)` hot loops of the sparse-first engine (`R·G` SpMM and the
+//! `tr(GᵀLG)` quadratic form) move half the bytes per multiply-add.
+//! Accumulation stays `f64`: every element is widened before it enters
+//! an accumulation chain, and widening is exact, so each kernel is
+//! bit-identical to its `f64` reference applied to the widened
+//! (f32-quantised) operands — the same contract as the `_f32` kernels in
+//! `mtrl_linalg::lowrank`.
+//!
+//! These are *operator snapshots*, not general sparse matrices: build
+//! one from a finished [`Csr`] (the engine does this once per fit for
+//! `R` and the fixed Laplacian parts), apply it, and rebuild it if the
+//! `f64` original changes.
+
+use crate::{Csr, SparseBlockDiag};
+use mtrl_linalg::block::BlockSpec;
+use mtrl_linalg::error::LinalgError;
+use mtrl_linalg::{Mat, MatF32};
+
+/// Compressed sparse row matrix with `u32` column indices and `f32`
+/// values — the f32-storage twin of [`Csr`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct CsrF32 {
+    rows: usize,
+    cols: usize,
+    indptr: Vec<usize>,
+    indices: Vec<u32>,
+    values: Vec<f32>,
+}
+
+impl CsrF32 {
+    /// Snapshot a [`Csr`] into `f32`/`u32` storage.
+    ///
+    /// # Panics
+    /// Panics if the column count exceeds `u32::MAX` (no realistic
+    /// corpus does).
+    pub fn from_csr(m: &Csr) -> Self {
+        assert!(
+            m.cols() <= u32::MAX as usize,
+            "CsrF32: column count exceeds u32"
+        );
+        let mut indptr = Vec::with_capacity(m.rows() + 1);
+        indptr.push(0);
+        let mut indices = Vec::with_capacity(m.nnz());
+        let mut values = Vec::with_capacity(m.nnz());
+        for i in 0..m.rows() {
+            let (cols, vals) = m.row(i);
+            indices.extend(cols.iter().map(|&j| j as u32));
+            values.extend(vals.iter().map(|&v| v as f32));
+            indptr.push(indices.len());
+        }
+        CsrF32 {
+            rows: m.rows(),
+            cols: m.cols(),
+            indptr,
+            indices,
+            values,
+        }
+    }
+
+    /// Widen back into an `f64` [`Csr`] whose values are exactly the
+    /// stored `f32` values — the "quantise through f32" map, used by the
+    /// cross-precision tests.
+    pub fn widen(&self) -> Csr {
+        Csr::from_raw_parts(
+            self.rows,
+            self.cols,
+            self.indptr.clone(),
+            self.indices.iter().map(|&j| j as usize).collect(),
+            self.values.iter().map(|&v| v as f64).collect(),
+        )
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)`.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Number of stored entries.
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Column indices and values of row `i`.
+    ///
+    /// # Panics
+    /// Panics if `i >= rows`.
+    pub fn row(&self, i: usize) -> (&[u32], &[f32]) {
+        assert!(i < self.rows, "row index out of bounds");
+        let span = self.indptr[i]..self.indptr[i + 1];
+        (&self.indices[span.clone()], &self.values[span])
+    }
+
+    /// Per-row sums of squared (widened) values — `Σ_j R_ij²` of the
+    /// quantised relation matrix, the constant term of the engine's
+    /// row-residual norms in F32 mode.
+    pub fn row_sq_sums(&self) -> Vec<f64> {
+        (0..self.rows)
+            .map(|i| {
+                self.row(i)
+                    .1
+                    .iter()
+                    .map(|&v| {
+                        let w = v as f64;
+                        w * w
+                    })
+                    .sum()
+            })
+            .collect()
+    }
+
+    /// Sparse × dense product `self * B` with `f64` accumulation — the
+    /// f32-storage twin of [`Csr::spmm_dense`], bit-identical to it on
+    /// the widened operands for every thread count.
+    ///
+    /// # Panics
+    /// Panics if `self.cols != b.rows()`.
+    pub fn spmm_dense(&self, b: &MatF32) -> Mat {
+        assert_eq!(self.cols, b.rows(), "spmm_dense: dimension mismatch");
+        let mut out = Mat::zeros(self.rows, b.cols());
+        self.spmm_dense_at(b, 0, &mut out);
+        out
+    }
+
+    /// [`Self::spmm_dense`] as one diagonal block of a stacked operator —
+    /// see [`Csr::spmm_dense_at`]; same thresholds, same chunking.
+    ///
+    /// # Panics
+    /// Panics if either matrix ends before the block does or the column
+    /// counts differ.
+    pub fn spmm_dense_at(&self, b: &MatF32, offset: usize, out: &mut Mat) {
+        assert!(
+            b.rows() >= offset + self.cols,
+            "spmm_dense_at: B ends before the block does"
+        );
+        assert!(
+            out.rows() >= offset + self.rows,
+            "spmm_dense_at: out ends before the block does"
+        );
+        assert_eq!(b.cols(), out.cols(), "spmm_dense_at: column mismatch");
+        let n = b.cols();
+        let span = &mut out.as_mut_slice()[offset * n..(offset + self.rows) * n];
+        if self.nnz() * n < (1 << 20) {
+            self.spmm_rows_into(b, offset, span, 0, self.rows);
+        } else {
+            mtrl_linalg::par::par_row_chunks(span, self.rows, n, |r0, r1, chunk| {
+                self.spmm_rows_into(b, offset, chunk, r0, r1)
+            });
+        }
+    }
+
+    /// Accumulate rows `[r0, r1)` of `self * B[offset..]` into `chunk`,
+    /// widening each factor before the `f64` multiply-add.
+    fn spmm_rows_into(&self, b: &MatF32, offset: usize, chunk: &mut [f64], r0: usize, r1: usize) {
+        let n = b.cols();
+        for (local, i) in (r0..r1).enumerate() {
+            let (cols, vals) = self.row(i);
+            let orow = &mut chunk[local * n..(local + 1) * n];
+            for (&j, &v) in cols.iter().zip(vals) {
+                let vw = v as f64;
+                let brow = b.row(offset + j as usize);
+                for (o, &bv) in orow.iter_mut().zip(brow) {
+                    *o += vw * bv as f64;
+                }
+            }
+        }
+    }
+
+    /// Quadratic form `tr(Gᵀ A G)` with `f64` accumulation — the
+    /// f32-storage twin of [`Csr::quad_form`].
+    ///
+    /// # Panics
+    /// Panics if `self` is not square or `g.rows() != self.rows`.
+    pub fn quad_form(&self, g: &MatF32) -> f64 {
+        assert_eq!(g.rows(), self.rows, "quad_form: dimension mismatch");
+        self.quad_form_at(g, 0)
+    }
+
+    /// [`Self::quad_form`] against rows `[offset, offset + n)` of a
+    /// taller stacked `G` — see [`Csr::quad_form_at`].
+    ///
+    /// # Panics
+    /// Panics if `self` is not square or `g` has fewer than
+    /// `offset + rows` rows.
+    pub fn quad_form_at(&self, g: &MatF32, offset: usize) -> f64 {
+        assert_eq!(self.rows, self.cols, "quad_form requires square");
+        assert!(
+            g.rows() >= offset + self.rows,
+            "quad_form_at: G ends before the block does"
+        );
+        let mut acc = 0.0;
+        for i in 0..self.rows {
+            let (cols, vals) = self.row(i);
+            let gi = g.row(offset + i);
+            for (&j, &v) in cols.iter().zip(vals) {
+                let gj = g.row(offset + j as usize);
+                let dot: f64 = gi.iter().zip(gj).map(|(&a, &b)| a as f64 * b as f64).sum();
+                acc += v as f64 * dot;
+            }
+        }
+        acc
+    }
+}
+
+/// Block-diagonal operator over [`CsrF32`] blocks — the f32-storage twin
+/// of [`SparseBlockDiag`], snapshotted once per fit from the fixed
+/// Laplacian (and its positive/negative parts) in F32 mode.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SparseBlockDiagF32 {
+    blocks: Vec<CsrF32>,
+    spec: BlockSpec,
+}
+
+impl SparseBlockDiagF32 {
+    /// Snapshot a [`SparseBlockDiag`] into `f32`/`u32` storage.
+    pub fn from_block_diag(l: &SparseBlockDiag) -> Self {
+        SparseBlockDiagF32 {
+            blocks: (0..l.num_blocks())
+                .map(|k| CsrF32::from_csr(l.block(k)))
+                .collect(),
+            spec: l.spec().clone(),
+        }
+    }
+
+    /// Total stacked dimension `n`.
+    pub fn n(&self) -> usize {
+        self.spec.total()
+    }
+
+    /// Total stored entries over all blocks.
+    pub fn nnz(&self) -> usize {
+        self.blocks.iter().map(CsrF32::nnz).sum()
+    }
+
+    /// `blockdiag(L_k) * G` with `f64` accumulation — the f32-storage
+    /// twin of [`SparseBlockDiag::mul_dense`].
+    ///
+    /// # Errors
+    /// Returns [`LinalgError::ShapeMismatch`] if `g.rows() != n`.
+    pub fn mul_dense(&self, g: &MatF32) -> Result<Mat, LinalgError> {
+        if g.rows() != self.n() {
+            return Err(LinalgError::ShapeMismatch {
+                op: "SparseBlockDiagF32::mul_dense",
+                lhs: (self.n(), self.n()),
+                rhs: g.shape(),
+            });
+        }
+        let mut out = Mat::zeros(g.rows(), g.cols());
+        for (k, block) in self.blocks.iter().enumerate() {
+            block.spmm_dense_at(g, self.spec.offset(k), &mut out);
+        }
+        Ok(out)
+    }
+
+    /// `tr(Gᵀ L G)` with `f64` accumulation — the f32-storage twin of
+    /// [`SparseBlockDiag::trace_quad`].
+    ///
+    /// # Errors
+    /// Returns [`LinalgError::ShapeMismatch`] if `g.rows() != n`.
+    pub fn trace_quad(&self, g: &MatF32) -> Result<f64, LinalgError> {
+        if g.rows() != self.n() {
+            return Err(LinalgError::ShapeMismatch {
+                op: "SparseBlockDiagF32::trace_quad",
+                lhs: (self.n(), self.n()),
+                rhs: g.shape(),
+            });
+        }
+        Ok(self
+            .blocks
+            .iter()
+            .enumerate()
+            .map(|(k, block)| block.quad_form_at(g, self.spec.offset(k)))
+            .sum())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Coo;
+    use mtrl_linalg::par::{num_threads, set_num_threads};
+    use mtrl_linalg::random::rand_uniform;
+
+    fn random_sparse(rows: usize, cols: usize, density: f64, seed: u64) -> Csr {
+        let dense = rand_uniform(rows, cols, -1.0, 1.0, seed);
+        let mask = rand_uniform(rows, cols, 0.0, 1.0, seed + 1);
+        let mut c = Coo::new(rows, cols);
+        for i in 0..rows {
+            for j in 0..cols {
+                if mask[(i, j)] < density {
+                    c.push(i, j, dense[(i, j)]);
+                }
+            }
+        }
+        c.to_csr()
+    }
+
+    #[test]
+    fn from_csr_widen_is_quantisation() {
+        let s = random_sparse(9, 7, 0.4, 90);
+        let q = CsrF32::from_csr(&s).widen();
+        assert_eq!(q.shape(), s.shape());
+        assert_eq!(q.nnz(), s.nnz());
+        for ((i, j, a), (i2, j2, b)) in q.iter().zip(s.iter()) {
+            assert_eq!((i, j), (i2, j2));
+            assert_eq!(a, (b as f32) as f64);
+        }
+    }
+
+    #[test]
+    fn spmm_bit_equal_reference_on_widened_operands() {
+        // The mixed-precision pin: f32-storage SpMM equals the f64 SpMM
+        // applied to the widened (quantised) operands, bit for bit —
+        // for every thread count, including above the parallel
+        // threshold.
+        let s = random_sparse(600, 500, 0.4, 91);
+        let b = rand_uniform(500, 12, -1.0, 1.0, 93);
+        let s32 = CsrF32::from_csr(&s);
+        let b32 = MatF32::from_mat(&b);
+        assert!(
+            s32.nnz() * b.cols() >= (1 << 20),
+            "below parallel threshold"
+        );
+        let (sw, bw) = (s32.widen(), b32.widen());
+        let before = num_threads();
+        for threads in [1usize, 3, 8] {
+            set_num_threads(threads);
+            let fast = s32.spmm_dense(&b32);
+            let reference = sw.spmm_dense(&bw);
+            assert_eq!(fast.as_slice(), reference.as_slice(), "threads={threads}");
+        }
+        set_num_threads(before);
+    }
+
+    #[test]
+    fn quad_form_bit_equal_reference_on_widened_operands() {
+        let s = random_sparse(25, 25, 0.3, 94);
+        let g = rand_uniform(25, 4, -1.0, 1.0, 96);
+        let s32 = CsrF32::from_csr(&s);
+        let g32 = MatF32::from_mat(&g);
+        assert_eq!(s32.quad_form(&g32), s32.widen().quad_form(&g32.widen()));
+    }
+
+    #[test]
+    fn row_sq_sums_match_widened() {
+        let s = random_sparse(11, 8, 0.5, 97);
+        let s32 = CsrF32::from_csr(&s);
+        let expect: Vec<f64> = (0..11)
+            .map(|i| s32.widen().row(i).1.iter().map(|v| v * v).sum())
+            .collect();
+        assert_eq!(s32.row_sq_sums(), expect);
+    }
+
+    #[test]
+    fn block_diag_twins_match_widened() {
+        let l = SparseBlockDiag::new(vec![
+            random_sparse(6, 6, 0.4, 98),
+            random_sparse(9, 9, 0.4, 100),
+        ])
+        .unwrap();
+        let g = rand_uniform(15, 3, -1.0, 1.0, 102);
+        let l32 = SparseBlockDiagF32::from_block_diag(&l);
+        let g32 = MatF32::from_mat(&g);
+        assert_eq!(l32.n(), 15);
+        assert_eq!(l32.nnz(), l.nnz());
+        // Widened block-diag reference.
+        let lw = SparseBlockDiag::new(vec![
+            CsrF32::from_csr(l.block(0)).widen(),
+            CsrF32::from_csr(l.block(1)).widen(),
+        ])
+        .unwrap();
+        let gw = g32.widen();
+        assert_eq!(
+            l32.mul_dense(&g32).unwrap().as_slice(),
+            lw.mul_dense(&gw).unwrap().as_slice()
+        );
+        assert_eq!(l32.trace_quad(&g32).unwrap(), lw.trace_quad(&gw).unwrap());
+        assert!(l32.mul_dense(&MatF32::zeros(4, 2)).is_err());
+        assert!(l32.trace_quad(&MatF32::zeros(4, 2)).is_err());
+    }
+}
