@@ -34,10 +34,20 @@ pub const SCHEMA_VERSION: u32 = 1;
 /// `s` is `c x c` over the stacked cluster dimension, and `centroids[k]`
 /// is `c_k x D_k` over type `k`'s feature view (row-ℓ2 normalised, the
 /// pre-normalisation norms kept in `centroid_norms`).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+///
+/// Serialization is hand-written (not derived) so the optional
+/// [`FittedModel::method`] provenance field can be *omitted* when absent:
+/// bundles saved before the field existed deserialize unchanged, and
+/// models without provenance serialize byte-identically to the old
+/// layout — the v1 JSON and v2 binary loaders both tolerate its absence.
+#[derive(Debug, Clone)]
 pub struct FittedModel {
     /// Schema version of this bundle ([`SCHEMA_VERSION`] at save time).
     pub schema_version: u32,
+    /// Which method produced this model, as a [`crate::MethodSpec::key`]
+    /// string (`"rhchme"`, `"ensemble"`, …). Optional provenance: absent
+    /// in bundles saved before the field existed.
+    pub method: Option<String>,
     /// The hyper-parameters the model was fitted with.
     pub config: RhchmeConfig,
     /// Per-type object counts at fit time.
@@ -164,7 +174,62 @@ impl FittedModel {
                 fnv_eat(&mut h, &x.to_bits().to_le_bytes());
             }
         }
+        // Provenance is folded in only when present, so bundles saved
+        // before the field existed keep their original digests.
+        if let Some(m) = &self.method {
+            fnv_eat(&mut h, &[6]);
+            fnv_eat(&mut h, m.as_bytes());
+        }
         h
+    }
+
+    /// Tag this model with method provenance (builder style).
+    #[must_use]
+    pub fn with_method(mut self, method: &str) -> Self {
+        self.method = Some(method.to_string());
+        self
+    }
+}
+
+impl Serialize for FittedModel {
+    fn to_value(&self) -> serde::Value {
+        let mut pairs = vec![("schema_version".to_string(), self.schema_version.to_value())];
+        // Omitted (not null) when absent: models without provenance
+        // serialize byte-identically to the pre-`method` layout.
+        if let Some(m) = &self.method {
+            pairs.push(("method".to_string(), m.to_value()));
+        }
+        pairs.extend([
+            ("config".to_string(), self.config.to_value()),
+            ("sizes".to_string(), self.sizes.to_value()),
+            ("cluster_counts".to_string(), self.cluster_counts.to_value()),
+            ("feature_dims".to_string(), self.feature_dims.to_value()),
+            ("g_blocks".to_string(), self.g_blocks.to_value()),
+            ("s".to_string(), self.s.to_value()),
+            ("centroids".to_string(), self.centroids.to_value()),
+            ("centroid_norms".to_string(), self.centroid_norms.to_value()),
+        ]);
+        serde::Value::Object(pairs)
+    }
+}
+
+impl Deserialize for FittedModel {
+    fn from_value(v: &serde::Value) -> std::result::Result<Self, serde::Error> {
+        Ok(FittedModel {
+            schema_version: Deserialize::from_value(v.get_field("schema_version")?)?,
+            method: match v.get("method") {
+                None | Some(serde::Value::Null) => None,
+                Some(m) => Some(Deserialize::from_value(m)?),
+            },
+            config: Deserialize::from_value(v.get_field("config")?)?,
+            sizes: Deserialize::from_value(v.get_field("sizes")?)?,
+            cluster_counts: Deserialize::from_value(v.get_field("cluster_counts")?)?,
+            feature_dims: Deserialize::from_value(v.get_field("feature_dims")?)?,
+            g_blocks: Deserialize::from_value(v.get_field("g_blocks")?)?,
+            s: Deserialize::from_value(v.get_field("s")?)?,
+            centroids: Deserialize::from_value(v.get_field("centroids")?)?,
+            centroid_norms: Deserialize::from_value(v.get_field("centroid_norms")?)?,
+        })
     }
 }
 
@@ -255,6 +320,7 @@ pub fn build_model(
     }
     let model = FittedModel {
         schema_version: SCHEMA_VERSION,
+        method: None,
         config,
         sizes: data.sizes().to_vec(),
         cluster_counts: data.cluster_counts().to_vec(),
@@ -367,6 +433,35 @@ mod tests {
         let mut config_tampered = fitted.clone();
         config_tampered.config.lambda += 1.0;
         assert_ne!(d0, config_tampered.content_digest());
+    }
+
+    #[test]
+    fn method_provenance_is_optional_and_tolerated() {
+        let (corpus, model, result) = fitted();
+        let exported = model.export_model(&result, &corpus).unwrap();
+        // The RHCHME export path tags its provenance.
+        assert_eq!(exported.method.as_deref(), Some("rhchme"));
+
+        // A model without provenance serializes byte-identically to the
+        // pre-`method` layout, and its digest is unchanged by the field's
+        // existence.
+        let mut untagged = exported.clone();
+        untagged.method = None;
+        let tree = untagged.to_value();
+        assert!(tree.get("method").is_none(), "absent, not null");
+        let reloaded = FittedModel::from_value(&tree).unwrap();
+        assert_eq!(reloaded.method, None);
+        assert_eq!(reloaded.content_digest(), untagged.content_digest());
+
+        // Tagged models round-trip the provenance and fold it into the
+        // digest.
+        assert_ne!(exported.content_digest(), untagged.content_digest());
+        let reloaded = FittedModel::from_value(&exported.to_value()).unwrap();
+        assert_eq!(reloaded.method.as_deref(), Some("rhchme"));
+
+        // with_method is builder-style retagging.
+        let retagged = untagged.with_method("ensemble");
+        assert_eq!(retagged.method.as_deref(), Some("ensemble"));
     }
 
     #[test]

@@ -55,7 +55,9 @@ pub use export::{FittedModel, SCHEMA_VERSION};
 pub use mtrl_ann::GraphBackend;
 pub use mtrl_linalg::Precision;
 pub use multitype::MultiTypeData;
-pub use pipeline::{run_method, Method, MethodOutput};
+pub use pipeline::{
+    run_method, run_spec, EnsembleSpec, FitRequest, MergeStrategy, Method, MethodOutput, MethodSpec,
+};
 pub use rhchme::{Rhchme, RhchmeConfig, RhchmeResult, WarmStart};
 
 /// Result alias for this crate.

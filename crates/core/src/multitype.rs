@@ -129,6 +129,45 @@ impl MultiTypeData {
         )
     }
 
+    /// The same dataset with different requested cluster counts — the
+    /// cheap re-spec used by the consensus-ensemble generator's random-k
+    /// perturbation. Relations (and therefore `R`, feature views and all
+    /// object-dimension graphs) are shared content; only the cluster
+    /// block layout changes.
+    ///
+    /// # Errors
+    /// Returns [`RhchmeError::InvalidConfig`] for counts `< 2`, larger
+    /// than the type size, or of the wrong length.
+    pub fn with_cluster_counts(&self, cluster_counts: Vec<usize>) -> Result<Self> {
+        if cluster_counts.len() != self.sizes.len() {
+            return Err(RhchmeError::InvalidConfig(format!(
+                "{} cluster counts for {} types",
+                cluster_counts.len(),
+                self.sizes.len()
+            )));
+        }
+        for (k, (&nk, &ck)) in self.sizes.iter().zip(&cluster_counts).enumerate() {
+            if ck < 2 {
+                return Err(RhchmeError::InvalidConfig(format!(
+                    "type {k}: need at least 2 clusters"
+                )));
+            }
+            if ck > nk {
+                return Err(RhchmeError::InvalidConfig(format!(
+                    "type {k}: {ck} clusters for {nk} objects"
+                )));
+            }
+        }
+        let cluster_spec = BlockSpec::from_sizes(&cluster_counts);
+        Ok(MultiTypeData {
+            sizes: self.sizes.clone(),
+            cluster_counts,
+            relations: self.relations.clone(),
+            spec: self.spec.clone(),
+            cluster_spec,
+        })
+    }
+
     /// Number of object types `K`.
     pub fn num_types(&self) -> usize {
         self.sizes.len()
@@ -416,6 +455,24 @@ mod tests {
         assert_eq!(labels.len(), 12);
         assert_eq!(labels[0], 0);
         assert_eq!(labels[11], 1);
+    }
+
+    #[test]
+    fn with_cluster_counts_respects_relations() {
+        let c = tiny_corpus();
+        let d = MultiTypeData::from_corpus(&c, 10).unwrap();
+        let mut counts = d.cluster_counts().to_vec();
+        counts[0] = 4;
+        let d4 = d.with_cluster_counts(counts.clone()).unwrap();
+        assert_eq!(d4.cluster_counts(), counts.as_slice());
+        assert_eq!(d4.sizes(), d.sizes());
+        assert_eq!(d4.total_clusters(), d.total_clusters() + 2);
+        // Object-side data is unchanged.
+        assert_eq!(d4.assemble_r_csr(), d.assemble_r_csr());
+        // Validation still applies.
+        assert!(d.with_cluster_counts(vec![2, 2]).is_err());
+        assert!(d.with_cluster_counts(vec![1, 2, 2]).is_err());
+        assert!(d.with_cluster_counts(vec![2, 2, 99]).is_err());
     }
 
     #[test]

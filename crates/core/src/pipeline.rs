@@ -1,11 +1,40 @@
-//! One-call experiment runners.
+//! One-call experiment runners behind the open method-dispatch API.
 //!
-//! [`run_method`] executes any of the seven compared methods on a corpus
-//! with a single parameter bundle and returns labels, traces and wall
-//! time — exactly what the table/figure benches need. The heavyweight
-//! intermediates (assembled `R`, feature views, pNN Laplacians, subspace
-//! Laplacians) are also exposed through [`Artifacts`] so parameter sweeps
-//! recompute only what a swept parameter actually touches (Fig. 2).
+//! [`run_spec`] executes a [`MethodSpec`] — the open, non-`Copy` method
+//! specification — on a corpus with a single parameter bundle and returns
+//! labels, traces and wall time; [`FitRequest`] is its fluent builder
+//! front end. The heavyweight intermediates (assembled `R`, feature
+//! views, pNN Laplacians, subspace Laplacians) are also exposed through
+//! [`Artifacts`] so parameter sweeps recompute only what a swept
+//! parameter actually touches (Fig. 2).
+//!
+//! # Method-dispatch API contract (the `Method` → `MethodSpec` migration)
+//!
+//! Through PR 9 the dispatch type was the closed `Copy` enum [`Method`]
+//! and the entry point was `run_method(corpus, method, params)`. A method
+//! that carries its *own* configuration — the consensus-ensemble layer's
+//! generator pool, ensemble size and merge strategy — cannot be a unit
+//! variant of a `Copy` enum, so the dispatch surface was redesigned:
+//!
+//! * [`MethodSpec`] is the specification type: `MethodSpec::Base(Method)`
+//!   wraps the seven paper methods unchanged; [`MethodSpec::Ensemble`]
+//!   carries an [`EnsembleSpec`] (the consensus-ensemble configuration).
+//!   New method families add variants here, keeping one spec type across
+//!   the pipeline, the evaluation matrix and serving provenance.
+//! * [`run_spec`] is the dispatcher for everything *this* crate
+//!   implements (the seven base methods). Method families that live in
+//!   their own crates layer on top: `mtrl_ensemble::run_spec` executes
+//!   [`MethodSpec::Ensemble`] and delegates every base spec back here.
+//!   Callers that may receive an ensemble spec (the eval runner, demos)
+//!   dispatch through `mtrl_ensemble::run_spec`; callers that only ever
+//!   run base methods may use this function directly.
+//! * [`run_method`] is **kept, not deprecated**: it is a thin shim over
+//!   `run_spec(corpus, &MethodSpec::from(method), params)` via the
+//!   [`From<Method>`] impl, so the `Method::all()` table-order benches
+//!   and every existing call site compile unchanged.
+//! * [`MethodOutput::method`] is now a [`MethodSpec`] (it was a
+//!   [`Method`]); use [`MethodSpec::key`] for stable report keys and
+//!   [`MethodSpec::as_base`] to recover the old enum where one applies.
 
 use crate::baselines::{
     run_drcc, run_rmc, run_snmtf, run_src, DrccConfig, DrccVariant, RmcConfig, SnmtfConfig,
@@ -72,6 +101,188 @@ impl Method {
     /// Whether this is a high-order (multi-type) method.
     pub fn is_hocc(self) -> bool {
         !matches!(self, Method::DrT | Method::DrC | Method::DrTC)
+    }
+
+    /// Stable lower-case key used in reports and scenario names.
+    pub fn key(self) -> &'static str {
+        match self {
+            Method::DrT => "dr_t",
+            Method::DrC => "dr_c",
+            Method::DrTC => "dr_tc",
+            Method::Src => "src",
+            Method::Snmtf => "snmtf",
+            Method::Rmc => "rmc",
+            Method::Rhchme => "rhchme",
+        }
+    }
+}
+
+/// How the consensus-ensemble layer merges base partitions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MergeStrategy {
+    /// Probability-trajectory random walk over the sparse co-association
+    /// graph (the robust default); falls back to [`Self::HyperedgeMedoid`]
+    /// when the walk degenerates (fewer than two consensus clusters).
+    ProbabilityTrajectory,
+    /// k-hyperedge-medoid consensus: greedily select one base cluster per
+    /// consensus cluster by coverage, then assign objects by co-association
+    /// affinity to the selected hyperedges.
+    HyperedgeMedoid,
+}
+
+/// Configuration of the consensus-ensemble method layer (`mtrl-ensemble`).
+///
+/// This is plain specification data: `crates/core` defines it so one
+/// [`MethodSpec`] type spans the whole workspace, while the execution
+/// lives in the `mtrl-ensemble` crate (`mtrl_ensemble::run_spec`). All
+/// `with_*` methods are fluent builders over [`EnsembleSpec::default`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct EnsembleSpec {
+    /// Number of base partitions to generate.
+    pub members: usize,
+    /// Method pool cycled round-robin across members. Member 0 always
+    /// uses `pool[0]` with the canonical seed and cluster counts, so the
+    /// merge has at least one same-k anchor candidate; the merge then
+    /// selects the best-scoring anchor among all same-k members.
+    pub pool: Vec<Method>,
+    /// Perturb the document cluster count of odd-indexed members by
+    /// drawing k uniformly from `[c, 2c]` (clamped to the corpus size);
+    /// even-indexed members keep the canonical count so the merge always
+    /// has same-k anchor candidates.
+    pub random_k: bool,
+    /// Co-cluster neighbours kept per object in the sparse
+    /// co-association structure (its row budget; no n×n is built).
+    pub coassoc_p: usize,
+    /// Probability-trajectory walk length T.
+    pub walk_steps: usize,
+    /// Per-step decay θ of the trajectory vote memory
+    /// `E_t = θ·E_{t-1} + W·onehot(labels_{t-1})`.
+    pub walk_decay: f64,
+    /// Merge strategy for turning co-associations into consensus labels.
+    pub merge: MergeStrategy,
+    /// Posterior smoothing of the exported consensus membership blocks.
+    pub smoothing: f64,
+}
+
+impl Default for EnsembleSpec {
+    fn default() -> Self {
+        EnsembleSpec {
+            members: 8,
+            pool: vec![Method::Rhchme, Method::Snmtf, Method::Rmc, Method::Src],
+            random_k: true,
+            coassoc_p: 12,
+            walk_steps: 3,
+            walk_decay: 0.8,
+            merge: MergeStrategy::ProbabilityTrajectory,
+            smoothing: 0.2,
+        }
+    }
+}
+
+impl EnsembleSpec {
+    /// Set the number of base partitions.
+    #[must_use]
+    pub fn with_members(mut self, members: usize) -> Self {
+        self.members = members;
+        self
+    }
+
+    /// Set the base-method pool (cycled round-robin; `pool[0]` anchors).
+    #[must_use]
+    pub fn with_pool(mut self, pool: Vec<Method>) -> Self {
+        self.pool = pool;
+        self
+    }
+
+    /// Enable or disable random-k perturbation of members `1..`.
+    #[must_use]
+    pub fn with_random_k(mut self, random_k: bool) -> Self {
+        self.random_k = random_k;
+        self
+    }
+
+    /// Set the co-association neighbour budget per object.
+    #[must_use]
+    pub fn with_coassoc_p(mut self, p: usize) -> Self {
+        self.coassoc_p = p;
+        self
+    }
+
+    /// Set the probability-trajectory walk length and decay.
+    #[must_use]
+    pub fn with_walk(mut self, steps: usize, decay: f64) -> Self {
+        self.walk_steps = steps;
+        self.walk_decay = decay;
+        self
+    }
+
+    /// Set the merge strategy.
+    #[must_use]
+    pub fn with_merge(mut self, merge: MergeStrategy) -> Self {
+        self.merge = merge;
+        self
+    }
+}
+
+/// Open method specification — see the module docs for the
+/// `Method` → `MethodSpec` migration contract.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MethodSpec {
+    /// One of the seven paper methods, executed by [`run_spec`] here.
+    Base(Method),
+    /// The consensus-ensemble layer, executed by `mtrl_ensemble::run_spec`.
+    Ensemble(EnsembleSpec),
+}
+
+impl From<Method> for MethodSpec {
+    fn from(method: Method) -> Self {
+        MethodSpec::Base(method)
+    }
+}
+
+impl From<EnsembleSpec> for MethodSpec {
+    fn from(spec: EnsembleSpec) -> Self {
+        MethodSpec::Ensemble(spec)
+    }
+}
+
+impl MethodSpec {
+    /// The default consensus-ensemble spec.
+    pub fn ensemble() -> Self {
+        MethodSpec::Ensemble(EnsembleSpec::default())
+    }
+
+    /// Stable lower-case key used in reports, scenario names and model
+    /// provenance (`FittedModel::method`).
+    pub fn key(&self) -> &'static str {
+        match self {
+            MethodSpec::Base(m) => m.key(),
+            MethodSpec::Ensemble(_) => "ensemble",
+        }
+    }
+
+    /// Human-readable table label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            MethodSpec::Base(m) => m.paper_name(),
+            MethodSpec::Ensemble(_) => "ENSEMBLE",
+        }
+    }
+
+    /// Whether this spec is a high-order (multi-type) method.
+    pub fn is_hocc(&self) -> bool {
+        match self {
+            MethodSpec::Base(m) => m.is_hocc(),
+            MethodSpec::Ensemble(_) => true,
+        }
+    }
+
+    /// The wrapped base [`Method`], when this spec is one.
+    pub fn as_base(&self) -> Option<Method> {
+        match self {
+            MethodSpec::Base(m) => Some(*m),
+            MethodSpec::Ensemble(_) => None,
+        }
     }
 }
 
@@ -148,7 +359,7 @@ impl Default for PipelineParams {
 #[derive(Debug, Clone)]
 pub struct MethodOutput {
     /// Which method produced this output.
-    pub method: Method,
+    pub method: MethodSpec,
     /// Document cluster labels.
     pub doc_labels: Vec<usize>,
     /// Objective per iteration.
@@ -177,7 +388,9 @@ impl MethodOutput {
     }
 }
 
-/// Run one method end to end on a corpus.
+/// Run one method end to end on a corpus — the compatibility shim over
+/// [`run_spec`] kept for the `Method::all()` table-order benches (see the
+/// module-level API contract).
 ///
 /// # Errors
 /// Propagates data-assembly and optimisation errors.
@@ -186,6 +399,34 @@ pub fn run_method(
     method: Method,
     params: &PipelineParams,
 ) -> Result<MethodOutput> {
+    run_spec(corpus, &MethodSpec::from(method), params)
+}
+
+/// Run a [`MethodSpec`] end to end on a corpus.
+///
+/// This crate executes the seven base methods. [`MethodSpec::Ensemble`]
+/// is implemented by the `mtrl-ensemble` crate; pass ensemble specs to
+/// `mtrl_ensemble::run_spec` (which delegates base specs back here) —
+/// this function returns [`crate::RhchmeError::InvalidConfig`] for them.
+///
+/// # Errors
+/// Propagates data-assembly and optimisation errors, and rejects
+/// [`MethodSpec::Ensemble`] as described above.
+pub fn run_spec(
+    corpus: &MultiTypeCorpus,
+    spec: &MethodSpec,
+    params: &PipelineParams,
+) -> Result<MethodOutput> {
+    let method = match spec {
+        MethodSpec::Base(m) => *m,
+        MethodSpec::Ensemble(_) => {
+            return Err(crate::RhchmeError::InvalidConfig(
+                "MethodSpec::Ensemble is executed by mtrl_ensemble::run_spec; \
+                 rhchme::pipeline::run_spec dispatches only the seven base methods"
+                    .into(),
+            ))
+        }
+    };
     let start = Instant::now();
     let out = match method {
         Method::DrT | Method::DrC | Method::DrTC => {
@@ -211,7 +452,7 @@ pub fn run_method(
                 },
             )?;
             MethodOutput {
-                method,
+                method: MethodSpec::Base(method),
                 doc_labels: res.doc_labels,
                 objective_trace: res.objective_trace,
                 label_trace: res.label_trace,
@@ -302,7 +543,7 @@ pub fn run_method(
 
 fn to_output(method: Method, res: crate::rhchme::RhchmeResult, start: Instant) -> MethodOutput {
     MethodOutput {
-        method,
+        method: MethodSpec::Base(method),
         doc_labels: res.doc_labels,
         objective_trace: res.objective_trace,
         label_trace: res.label_trace,
@@ -310,6 +551,84 @@ fn to_output(method: Method, res: crate::rhchme::RhchmeResult, start: Instant) -
         iterations: res.iterations,
         converged: res.converged,
         model: None,
+    }
+}
+
+/// Fluent builder front end for [`run_spec`], mirroring the serve layer's
+/// `AssignRequest` builder: start from a corpus, layer on a spec and
+/// parameter overrides, then [`FitRequest::run`].
+///
+/// ```no_run
+/// # use rhchme::pipeline::{FitRequest, Method};
+/// # fn demo(corpus: &mtrl_datagen::MultiTypeCorpus) -> rhchme::Result<()> {
+/// let out = FitRequest::new(corpus)
+///     .spec(Method::Snmtf)
+///     .seed(7)
+///     .export_model(true)
+///     .run()?;
+/// # let _ = out; Ok(()) }
+/// ```
+///
+/// Like [`run_spec`], `run` executes base methods only; build ensemble
+/// requests here too, but execute them with `mtrl_ensemble::run_spec`
+/// via [`FitRequest::into_parts`].
+pub struct FitRequest<'c> {
+    corpus: &'c MultiTypeCorpus,
+    spec: MethodSpec,
+    params: PipelineParams,
+}
+
+impl<'c> FitRequest<'c> {
+    /// Start a request with the paper's method and default parameters.
+    pub fn new(corpus: &'c MultiTypeCorpus) -> Self {
+        FitRequest {
+            corpus,
+            spec: MethodSpec::Base(Method::Rhchme),
+            params: PipelineParams::default(),
+        }
+    }
+
+    /// Set the method spec (accepts `Method`, `EnsembleSpec` or
+    /// `MethodSpec` via `Into`).
+    #[must_use]
+    pub fn spec(mut self, spec: impl Into<MethodSpec>) -> Self {
+        self.spec = spec.into();
+        self
+    }
+
+    /// Replace the whole parameter bundle.
+    #[must_use]
+    pub fn params(mut self, params: PipelineParams) -> Self {
+        self.params = params;
+        self
+    }
+
+    /// Set the initialisation seed.
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.params.seed = seed;
+        self
+    }
+
+    /// Request a serving-ready [`crate::FittedModel`] with the result.
+    #[must_use]
+    pub fn export_model(mut self, export: bool) -> Self {
+        self.params.export_model = export;
+        self
+    }
+
+    /// Execute the request (base methods; see [`run_spec`]).
+    ///
+    /// # Errors
+    /// Propagates [`run_spec`] errors.
+    pub fn run(self) -> Result<MethodOutput> {
+        run_spec(self.corpus, &self.spec, &self.params)
+    }
+
+    /// Decompose into `(corpus, spec, params)` for an external dispatcher
+    /// such as `mtrl_ensemble::run_spec`.
+    pub fn into_parts(self) -> (&'c MultiTypeCorpus, MethodSpec, PipelineParams) {
+        (self.corpus, self.spec, self.params)
     }
 }
 
@@ -480,6 +799,67 @@ mod tests {
         );
         assert!(!Method::DrT.is_hocc());
         assert!(Method::Rhchme.is_hocc());
+    }
+
+    #[test]
+    fn spec_shim_matches_run_method_and_rejects_ensemble() {
+        let c = corpus();
+        let params = fast_params();
+        let via_method = run_method(&c, Method::Src, &params).unwrap();
+        let via_spec = run_spec(&c, &MethodSpec::from(Method::Src), &params).unwrap();
+        assert_eq!(via_method.doc_labels, via_spec.doc_labels);
+        assert_eq!(via_spec.method, MethodSpec::Base(Method::Src));
+        assert_eq!(via_spec.method.as_base(), Some(Method::Src));
+
+        let err = run_spec(&c, &MethodSpec::ensemble(), &params).unwrap_err();
+        assert!(
+            err.to_string().contains("mtrl_ensemble"),
+            "error should point at the ensemble dispatcher: {err}"
+        );
+    }
+
+    #[test]
+    fn spec_keys_and_builder() {
+        assert_eq!(MethodSpec::from(Method::Rhchme).key(), "rhchme");
+        assert_eq!(MethodSpec::ensemble().key(), "ensemble");
+        assert_eq!(MethodSpec::ensemble().label(), "ENSEMBLE");
+        assert!(MethodSpec::ensemble().is_hocc());
+        assert!(MethodSpec::ensemble().as_base().is_none());
+
+        let spec = EnsembleSpec::default()
+            .with_members(5)
+            .with_pool(vec![Method::Snmtf, Method::Src])
+            .with_random_k(false)
+            .with_coassoc_p(7)
+            .with_walk(4, 0.5)
+            .with_merge(MergeStrategy::HyperedgeMedoid);
+        assert_eq!(spec.members, 5);
+        assert_eq!(spec.pool, vec![Method::Snmtf, Method::Src]);
+        assert!(!spec.random_k);
+        assert_eq!(spec.coassoc_p, 7);
+        assert_eq!((spec.walk_steps, spec.walk_decay), (4, 0.5));
+        assert_eq!(spec.merge, MergeStrategy::HyperedgeMedoid);
+    }
+
+    #[test]
+    fn fit_request_builder_runs() {
+        let c = corpus();
+        let out = FitRequest::new(&c)
+            .spec(Method::Snmtf)
+            .params(fast_params())
+            .seed(9)
+            .run()
+            .unwrap();
+        assert_eq!(out.doc_labels.len(), 16);
+        assert_eq!(out.method.key(), "snmtf");
+
+        let (corpus_ref, spec, params) = FitRequest::new(&c)
+            .spec(EnsembleSpec::default())
+            .export_model(true)
+            .into_parts();
+        assert_eq!(corpus_ref.labels.len(), 16);
+        assert_eq!(spec.key(), "ensemble");
+        assert!(params.export_model);
     }
 
     #[test]

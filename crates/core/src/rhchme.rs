@@ -301,7 +301,7 @@ impl Rhchme {
         result: &RhchmeResult,
         data: &MultiTypeData,
     ) -> Result<FittedModel> {
-        crate::export::build_model(self.config.clone(), result, data)
+        Ok(crate::export::build_model(self.config.clone(), result, data)?.with_method("rhchme"))
     }
 }
 
@@ -320,8 +320,10 @@ pub fn init_membership(data: &MultiTypeData, features: &[Mat], seed: u64) -> Mat
     stack_membership(&blocks)
 }
 
-/// Convert an engine result into the public result type.
-pub(crate) fn package_result(data: &MultiTypeData, out: EngineResult) -> RhchmeResult {
+/// Convert an engine result into the public result type. Public so
+/// method layers built on [`crate::engine::run_engine`] (the baselines
+/// here, the `mtrl-ensemble` generator) can package their fits uniformly.
+pub fn package_result(data: &MultiTypeData, out: EngineResult) -> RhchmeResult {
     let labels_per_type: Vec<Vec<usize>> = (0..data.num_types())
         .map(|k| data.labels_from_membership(&out.g, k))
         .collect();

@@ -21,30 +21,42 @@
 //! (f32 storage, f64 accumulation). The contract is per-mode: f32
 //! results need not match f64 results, but within f32 mode every
 //! thread count must produce the same bytes.
+//!
+//! `--ensemble` runs a full consensus-ensemble fit instead (default
+//! `EnsembleSpec`: member generation, sparse co-association build,
+//! probability-trajectory merge, closed-form `S`), extending the
+//! byte-identical contract to every ensemble stage — the co-association
+//! rows are built with the same order-splicing parallel primitive as the
+//! kernels, so thread count must not move a single bit.
 
 use mtrl_datagen::{seed_from_env, CorruptionSpec};
 use mtrl_eval::{quick_params, rhchme_config, CorpusShape};
+use rhchme::pipeline::EnsembleSpec;
 use rhchme::rhchme::Rhchme;
 use std::process::ExitCode;
+
+const USAGE: &str = "usage: determinism_probe <out_file> [--ann] [--f32] [--ensemble]";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut out_path = None;
     let mut ann = false;
     let mut f32_mode = false;
+    let mut ensemble = false;
     for a in &args {
         match a.as_str() {
             "--ann" => ann = true,
             "--f32" => f32_mode = true,
+            "--ensemble" => ensemble = true,
             _ if out_path.is_none() => out_path = Some(a.clone()),
             _ => {
-                eprintln!("usage: determinism_probe <out_file> [--ann] [--f32]");
+                eprintln!("{USAGE}");
                 return ExitCode::FAILURE;
             }
         }
     }
     let Some(out_path) = out_path else {
-        eprintln!("usage: determinism_probe <out_file> [--ann] [--f32]");
+        eprintln!("{USAGE}");
         return ExitCode::FAILURE;
     };
     let out_path = &out_path;
@@ -58,33 +70,55 @@ fn main() -> ExitCode {
     if f32_mode {
         params.precision = rhchme::Precision::F32;
     }
-    let rhchme = Rhchme::new(rhchme_config(&params));
-    let result = match rhchme.fit_corpus(&corpus) {
-        Ok(r) => r,
-        Err(e) => {
-            eprintln!("fit failed: {e}");
-            return ExitCode::FAILURE;
+    // Every probe mode dumps the same shape: labels, G, S, a trace.
+    let (doc_labels, labels_per_type, g, s, trace, iterations) = if ensemble {
+        match mtrl_ensemble::fit_corpus(&corpus, &EnsembleSpec::default(), &params) {
+            Ok(r) => {
+                let trace: Vec<f64> = r.members.iter().map(|m| m.final_objective).collect();
+                let n = r.members.len();
+                (r.doc_labels, r.labels_per_type, r.g, r.s, trace, n)
+            }
+            Err(e) => {
+                eprintln!("ensemble fit failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        let rhchme = Rhchme::new(rhchme_config(&params));
+        match rhchme.fit_corpus(&corpus) {
+            Ok(r) => (
+                r.doc_labels,
+                r.labels_per_type,
+                r.g,
+                r.s,
+                r.objective_trace,
+                r.iterations,
+            ),
+            Err(e) => {
+                eprintln!("fit failed: {e}");
+                return ExitCode::FAILURE;
+            }
         }
     };
 
     let mut bytes: Vec<u8> = Vec::new();
     bytes.extend_from_slice(b"mtrl-determinism-probe/v1\n");
     bytes.extend_from_slice(&(seed).to_le_bytes());
-    for labels in std::iter::once(&result.doc_labels).chain(result.labels_per_type.iter()) {
+    for labels in std::iter::once(&doc_labels).chain(labels_per_type.iter()) {
         bytes.extend_from_slice(&(labels.len() as u64).to_le_bytes());
         for &l in labels {
             bytes.extend_from_slice(&(l as u64).to_le_bytes());
         }
     }
-    for m in [&result.g, &result.s] {
+    for m in [&g, &s] {
         bytes.extend_from_slice(&(m.rows() as u64).to_le_bytes());
         bytes.extend_from_slice(&(m.cols() as u64).to_le_bytes());
         for v in m.as_slice() {
             bytes.extend_from_slice(&v.to_le_bytes());
         }
     }
-    bytes.extend_from_slice(&(result.objective_trace.len() as u64).to_le_bytes());
-    for v in &result.objective_trace {
+    bytes.extend_from_slice(&(trace.len() as u64).to_le_bytes());
+    for v in &trace {
         bytes.extend_from_slice(&v.to_le_bytes());
     }
 
@@ -102,7 +136,7 @@ fn main() -> ExitCode {
         "seed {seed}, threads {}: {} bytes, fnv1a {hash:016x}, {} iterations -> {out_path}",
         mtrl_linalg::par::num_threads(),
         bytes.len(),
-        result.iterations
+        iterations
     );
     ExitCode::SUCCESS
 }

@@ -25,6 +25,13 @@ pub const QUALITY_TOLERANCE: f64 = 0.02;
 /// Default bench tolerance: 25% mean slowdown.
 pub const BENCH_TOLERANCE: f64 = 0.25;
 
+/// How far an ensemble cell may sit below the best single-method cell of
+/// the same corruption scenario: 0.5 points of mean FScore.
+pub const ENSEMBLE_MARGIN: f64 = 0.005;
+
+/// The single-method cells an `…/ensemble` cell is compared against.
+const SINGLE_METHOD_CELLS: [&str; 4] = ["src", "snmtf", "rmc", "rhchme"];
+
 /// Outcome of one gate evaluation.
 #[derive(Debug, Clone)]
 pub struct GateReport {
@@ -131,6 +138,39 @@ pub fn quality_gate(base: &Value, current: &Value, tolerance: f64) -> Result<Gat
                     c.name, f32_mean, tolerance, sibling_name, f64_mean
                 ));
             }
+        }
+    }
+    // Ensemble cross-cell gate: on every corruption scenario, the
+    // consensus ensemble must stay within [`ENSEMBLE_MARGIN`] of the best
+    // single-method cell *in the current run* — the ensemble's whole
+    // reason to exist is robustness under corruption, so falling behind
+    // the methods it aggregates is a regression even when the baseline
+    // diff is flat. Clean scenarios are exempt (everything saturates
+    // there).
+    for c in &current.scenarios {
+        let Some(scenario) = c.name.strip_suffix("/ensemble") else {
+            continue;
+        };
+        if scenario == "clean" {
+            continue;
+        }
+        let best = SINGLE_METHOD_CELLS
+            .iter()
+            .filter_map(|m| {
+                let cell = format!("{scenario}/{m}");
+                current.scenarios.iter().find(|s| s.name == cell)
+            })
+            .map(|s| (s.fscore.mean, s.name.as_str()))
+            .max_by(|a, b| a.0.total_cmp(&b.0));
+        let Some((best_f, best_name)) = best else {
+            continue;
+        };
+        if c.fscore.mean - best_f < -(ENSEMBLE_MARGIN + 1e-9) {
+            failures.push(format!(
+                "'{}': mean FScore {:.3} is more than {ENSEMBLE_MARGIN:.3} below the best \
+                 single-method cell '{best_name}' ({best_f:.3}) — consensus-ensemble regression",
+                c.name, c.fscore.mean
+            ));
         }
     }
     let markdown = format!(
@@ -350,6 +390,40 @@ mod tests {
             ("clean/rhchme+f32", 0.89, 0.86),
         ]);
         let r = quality_gate(&close, &close, QUALITY_TOLERANCE).unwrap();
+        assert!(r.passed(), "{:?}", r.failures);
+    }
+
+    #[test]
+    fn quality_gate_pins_ensemble_to_best_single_method_cell() {
+        // Ensemble sits more than 0.5 F below the best single cell
+        // (rhchme) on a corruption scenario → fail, naming that cell.
+        let gapped = quality_value(&[
+            ("feature_noise/src", 0.80, 0.70),
+            ("feature_noise/rhchme", 0.85, 0.75),
+            ("feature_noise/ensemble", 0.84, 0.75),
+        ]);
+        let r = quality_gate(&gapped, &gapped, QUALITY_TOLERANCE).unwrap();
+        assert_eq!(r.failures.len(), 1);
+        assert!(
+            r.failures[0].contains("consensus-ensemble")
+                && r.failures[0].contains("'feature_noise/rhchme'"),
+            "{}",
+            r.failures[0]
+        );
+        // Within the margin passes.
+        let close = quality_value(&[
+            ("feature_noise/src", 0.80, 0.70),
+            ("feature_noise/rhchme", 0.85, 0.75),
+            ("feature_noise/ensemble", 0.846, 0.75),
+        ]);
+        let r = quality_gate(&close, &close, QUALITY_TOLERANCE).unwrap();
+        assert!(r.passed(), "{:?}", r.failures);
+    }
+
+    #[test]
+    fn quality_gate_exempts_clean_ensemble_cells() {
+        let v = quality_value(&[("clean/rhchme", 1.00, 1.00), ("clean/ensemble", 0.90, 0.90)]);
+        let r = quality_gate(&v, &v, QUALITY_TOLERANCE).unwrap();
         assert!(r.passed(), "{:?}", r.failures);
     }
 

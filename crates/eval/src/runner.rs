@@ -1,7 +1,9 @@
 //! Scenario execution: drive the full pipeline and score it.
 //!
 //! One seed of a scenario is exactly one end-to-end run of the system
-//! under test — a cold [`rhchme::pipeline::run_method`] fit, a
+//! under test — a cold [`mtrl_ensemble::run_spec`] fit (the universal
+//! [`rhchme::pipeline::MethodSpec`] dispatcher: base methods and the
+//! consensus ensemble through one call), a
 //! fit→export→fold-in round trip through `mtrl-serve`, or a
 //! stream→drift→warm-refit cycle through `mtrl-stream` — scored with
 //! [`mtrl_metrics::quality_scores`] on document labels. Everything is
@@ -17,7 +19,7 @@ use mtrl_datagen::stream::{generate_stream, StreamBatch, StreamConfig};
 use mtrl_metrics::{quality_scores, QualityScores};
 use mtrl_serve::{Assigner, SparseVec};
 use mtrl_stream::{RefreshPolicy, StreamSession};
-use rhchme::pipeline::{run_method, PipelineParams};
+use rhchme::pipeline::PipelineParams;
 use rhchme::rhchme::{Rhchme, RhchmeConfig};
 
 /// Eval-layer result: failures carry a human-readable context string.
@@ -160,9 +162,9 @@ fn run_seed(scenario: &Scenario, seed: u64, opts: &RunOptions) -> Result<Quality
         apply_degrade(&mut params);
     }
     match scenario.path {
-        EvalPath::ColdFit(method) => {
+        EvalPath::ColdFit(ref spec) => {
             let corpus = scenario.corruption.corpus(&scenario.shape.config(), seed);
-            let out = run_method(&corpus, method, &params).map_err(|e| e.to_string())?;
+            let out = mtrl_ensemble::run_spec(&corpus, spec, &params).map_err(|e| e.to_string())?;
             Ok(out.quality(&corpus.labels))
         }
         EvalPath::ServeFoldIn => {
@@ -256,7 +258,7 @@ mod tests {
         let s = Scenario::new(
             CorpusShape::Tiny3,
             CorruptionSpec::clean(),
-            EvalPath::ColdFit(Method::Snmtf),
+            EvalPath::cold_fit(Method::Snmtf),
         );
         let a = run_scenario(&s, &[5], &RunOptions::default()).unwrap();
         let b = run_scenario(&s, &[5], &RunOptions::default()).unwrap();
@@ -270,7 +272,7 @@ mod tests {
         let s = Scenario::new(
             CorpusShape::Tiny3,
             CorruptionSpec::clean(),
-            EvalPath::ColdFit(Method::Src),
+            EvalPath::cold_fit(Method::Src),
         );
         let r = run_scenario(&s, &[5, 6], &RunOptions::default()).unwrap();
         let stats = r.stats();

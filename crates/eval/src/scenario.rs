@@ -10,15 +10,22 @@
 //! named here.
 
 use mtrl_datagen::{CorpusConfig, CorruptionSpec};
-use rhchme::pipeline::Method;
+use rhchme::pipeline::{Method, MethodSpec};
 use rhchme::{GraphBackend, Precision};
 
 /// How a scenario drives the system.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+///
+/// `ColdFit` speaks [`MethodSpec`] — the open method-dispatch type of
+/// the redesigned API — so consensus-ensemble cells sit in the same
+/// registry as the base methods. (`MethodSpec` carries ensemble knobs
+/// with `f64` fields, so `EvalPath` is `Clone + PartialEq`, not
+/// `Copy`/`Eq`; build base-method cells with [`EvalPath::cold_fit`].)
+#[derive(Debug, Clone, PartialEq)]
 pub enum EvalPath {
-    /// Cold fit via [`rhchme::pipeline::run_method`]; scored on the
-    /// corpus's own documents.
-    ColdFit(Method),
+    /// Cold fit via [`mtrl_ensemble::run_spec`] (the universal
+    /// dispatcher over [`MethodSpec`]); scored on the corpus's own
+    /// documents.
+    ColdFit(MethodSpec),
     /// Fit RHCHME on a stratified training split, export the model, and
     /// fold the held-out documents in through `mtrl_serve::Assigner` —
     /// gates the serving subsystem's quality.
@@ -30,10 +37,16 @@ pub enum EvalPath {
 }
 
 impl EvalPath {
+    /// Cold-fit path over anything that converts into a [`MethodSpec`]
+    /// (a base [`Method`], an `EnsembleSpec`, or a spec itself).
+    pub fn cold_fit(spec: impl Into<MethodSpec>) -> Self {
+        EvalPath::ColdFit(spec.into())
+    }
+
     /// Stable scenario-key fragment.
-    pub fn key(self) -> String {
+    pub fn key(&self) -> String {
         match self {
-            EvalPath::ColdFit(m) => m.paper_name().to_lowercase().replace('-', "_"),
+            EvalPath::ColdFit(spec) => spec.key().to_string(),
             EvalPath::ServeFoldIn => "serve_foldin".to_string(),
             EvalPath::StreamWarmRefit => "stream_warm".to_string(),
         }
@@ -192,9 +205,10 @@ pub const QUICK_SEEDS: [u64; 3] = [11, 23, 37];
 pub const HOCC_METHODS: [Method; 4] = [Method::Src, Method::Snmtf, Method::Rmc, Method::Rhchme];
 
 /// The paper-faithful quick matrix: clean vs feature-noise vs
-/// relation-corruption cold fits for all four HOCC methods, plus the
-/// serve fold-in and stream warm-refit paths — every subsystem's quality
-/// is gated, not just the cold fit.
+/// relation-corruption cold fits for all four HOCC methods *and* the
+/// consensus ensemble over them, plus the serve fold-in and stream
+/// warm-refit paths — every subsystem's quality is gated, not just the
+/// cold fit.
 ///
 /// Known tie: at this scale RMC's learned 6-candidate ensemble settles
 /// into the same label partition as SNMTF's single cosine graph on
@@ -218,9 +232,18 @@ pub fn quick_matrix() -> Vec<Scenario> {
             matrix.push(Scenario::new(
                 CorpusShape::Balanced3,
                 corruption,
-                EvalPath::ColdFit(method),
+                EvalPath::cold_fit(method),
             ));
         }
+        // The consensus-ensemble cell of the same corruption column: the
+        // quality gate pins it against the best base-method sibling, so
+        // a merge/generator regression that erases the ensemble's
+        // robustness margin trips CI.
+        matrix.push(Scenario::new(
+            CorpusShape::Balanced3,
+            corruption,
+            EvalPath::cold_fit(MethodSpec::ensemble()),
+        ));
     }
     matrix.push(Scenario::new(
         CorpusShape::Balanced3,
@@ -241,7 +264,7 @@ pub fn quick_matrix() -> Vec<Scenario> {
         Scenario::new(
             CorpusShape::Large3,
             CorruptionSpec::clean(),
-            EvalPath::ColdFit(Method::Rhchme),
+            EvalPath::cold_fit(Method::Rhchme),
         )
         .with_backend(ann),
     );
@@ -262,7 +285,7 @@ pub fn quick_matrix() -> Vec<Scenario> {
         Scenario::new(
             CorpusShape::Balanced3,
             CorruptionSpec::clean(),
-            EvalPath::ColdFit(Method::Rhchme),
+            EvalPath::cold_fit(Method::Rhchme),
         )
         .with_precision(Precision::F32),
     );
@@ -270,7 +293,7 @@ pub fn quick_matrix() -> Vec<Scenario> {
         Scenario::new(
             CorpusShape::Large3,
             CorruptionSpec::clean(),
-            EvalPath::ColdFit(Method::Rhchme),
+            EvalPath::cold_fit(Method::Rhchme),
         )
         .with_backend(ann)
         .with_precision(Precision::F32),
@@ -285,15 +308,23 @@ mod tests {
     #[test]
     fn quick_matrix_covers_methods_and_paths() {
         let m = quick_matrix();
-        assert_eq!(m.len(), 18);
+        assert_eq!(m.len(), 21);
         for method in HOCC_METHODS {
             assert!(
                 m.iter()
-                    .filter(|s| s.path == EvalPath::ColdFit(method))
+                    .filter(|s| s.path == EvalPath::cold_fit(method))
                     .count()
                     >= 3,
                 "{method:?} missing corruption coverage"
             );
+        }
+        // The consensus-ensemble cells cover every corruption column.
+        for cell in [
+            "clean/ensemble",
+            "feature_noise/ensemble",
+            "relation_corruption/ensemble",
+        ] {
+            assert!(m.iter().any(|s| s.name == cell), "missing {cell}");
         }
         assert!(m.iter().any(|s| s.path == EvalPath::ServeFoldIn));
         assert!(m.iter().any(|s| s.path == EvalPath::StreamWarmRefit));
@@ -326,7 +357,7 @@ mod tests {
         let s = Scenario::new(
             CorpusShape::Balanced3,
             CorruptionSpec::feature_noise(0.2),
-            EvalPath::ColdFit(Method::Rhchme),
+            EvalPath::cold_fit(Method::Rhchme),
         );
         assert_eq!(s.name, "feature_noise/rhchme");
         let s = Scenario::new(
@@ -335,7 +366,8 @@ mod tests {
             EvalPath::StreamWarmRefit,
         );
         assert_eq!(s.name, "drift/stream_warm");
-        assert_eq!(EvalPath::ColdFit(Method::DrTC).key(), "dr_tc");
+        assert_eq!(EvalPath::cold_fit(Method::DrTC).key(), "dr_tc");
+        assert_eq!(EvalPath::cold_fit(MethodSpec::ensemble()).key(), "ensemble");
     }
 
     #[test]

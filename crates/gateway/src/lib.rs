@@ -28,7 +28,7 @@
 //! | route                          | meaning                                      |
 //! |--------------------------------|----------------------------------------------|
 //! | `POST /v1/models/{name}/assign`| fold in documents, return posteriors + labels|
-//! | `GET /v1/models`               | registered model names                       |
+//! | `GET /v1/models`               | registered models + method provenance        |
 //! | `GET /healthz`                 | liveness + counters + latency quantiles      |
 //! | `GET /metrics`                 | Prometheus text format                       |
 //!

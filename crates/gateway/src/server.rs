@@ -553,12 +553,20 @@ fn route_immediate(inner: &Inner, request: &Request) -> Response {
             Response::text(200, mtrl_obs::export::prometheus_text(mtrl_obs::global()))
         }
         ("GET", "/v1/models") => {
+            // Each entry carries the model's method provenance (`src`,
+            // `rhchme`, `ensemble`, …) — `null` for models exported
+            // before provenance existed.
             let models = Value::Array(
                 inner
                     .engine
-                    .model_names()
+                    .model_methods()
                     .into_iter()
-                    .map(Value::String)
+                    .map(|(name, method)| {
+                        Value::Object(vec![
+                            ("name".into(), Value::String(name)),
+                            ("method".into(), method.map_or(Value::Null, Value::String)),
+                        ])
+                    })
                     .collect(),
             );
             let body = Value::Object(vec![("models".into(), models)]);

@@ -373,6 +373,22 @@ impl ServeEngine {
         names
     }
 
+    /// Registered models with their method provenance, sorted by name.
+    /// The method is `None` for models exported before provenance
+    /// existed (schema-tolerant: every load path accepts its absence).
+    pub fn model_methods(&self) -> Vec<(String, Option<String>)> {
+        let mut entries: Vec<(String, Option<String>)> = self
+            .inner
+            .models
+            .read()
+            .expect("model registry poisoned")
+            .iter()
+            .map(|(name, assigner)| (name.clone(), assigner.model().method.clone()))
+            .collect();
+        entries.sort();
+        entries
+    }
+
     /// Enqueue a request; returns immediately with a wait handle.
     ///
     /// Admission control happens here: on a bounded engine with a full

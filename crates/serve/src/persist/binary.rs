@@ -33,7 +33,9 @@
 //!               digested region is a whole number of words)
 //! ```
 //!
-//! Section tags (all required, any order, duplicates rejected):
+//! Section tags (1–6 required, any order, duplicates rejected; tag 7 is
+//! optional — bundles written before method provenance existed simply
+//! omit it, and a reader never requires it):
 //!
 //! | tag | content                                                        |
 //! |-----|----------------------------------------------------------------|
@@ -44,6 +46,8 @@
 //! | 4   | S: rows u64, cols u64, data                                    |
 //! | 5   | centroids: same encoding as tag 3                              |
 //! | 6   | centroid norms: count u64, then per type len u64, data         |
+//! | 7   | method provenance: UTF-8 key of the producing method           |
+//!       | (optional; present only when the model carries one)            |
 //!
 //! Integrity: the trailing file digest catches any byte flip in header
 //! or payload (word-wise FNV-1a — 8× fewer multiplies than the
@@ -73,6 +77,7 @@ const TAG_G_BLOCKS: u32 = 3;
 const TAG_S: u32 = 4;
 const TAG_CENTROIDS: u32 = 5;
 const TAG_CENTROID_NORMS: u32 = 6;
+const TAG_METHOD: u32 = 7;
 
 fn corrupt(msg: impl Into<String>) -> ServeError {
     ServeError::Corrupt(msg.into())
@@ -151,7 +156,8 @@ pub fn to_bytes(model: &FittedModel) -> Result<Vec<u8>, ServeError> {
     w.u32(CONTAINER_VERSION);
     w.u32(model.schema_version);
     w.u64(model.content_digest());
-    w.u32(6); // section count
+    let section_count = 6 + u32::from(model.method.is_some());
+    w.u32(section_count);
     w.u32(0); // reserved
     let config_json = serde_json::to_string(&model.config)?;
     w.section(TAG_CONFIG, |w| {
@@ -179,6 +185,11 @@ pub fn to_bytes(model: &FittedModel) -> Result<Vec<u8>, ServeError> {
             w.f64s(norms);
         }
     });
+    if let Some(method) = &model.method {
+        w.section(TAG_METHOD, |w| {
+            w.buf.extend_from_slice(method.as_bytes());
+        });
+    }
     let digest = word_fnv(&w.buf);
     w.u64(digest);
     Ok(w.buf)
@@ -301,6 +312,7 @@ pub fn from_bytes(bytes: &[u8]) -> Result<FittedModel, ServeError> {
     let mut s: Option<Mat> = None;
     let mut centroids: Option<Vec<Mat>> = None;
     let mut centroid_norms: Option<Vec<Vec<f64>>> = None;
+    let mut method: Option<String> = None;
 
     for _ in 0..section_count {
         let tag = c.u32()?;
@@ -350,6 +362,11 @@ pub fn from_bytes(bytes: &[u8]) -> Result<FittedModel, ServeError> {
                     .collect::<Result<_, _>>()?;
                 centroid_norms.replace(norms).is_some()
             }
+            TAG_METHOD => {
+                let text = std::str::from_utf8(payload)
+                    .map_err(|e| corrupt(format!("method section is not UTF-8: {e}")))?;
+                method.replace(text.to_string()).is_some()
+            }
             other => return Err(corrupt(format!("unknown section tag {other}"))),
         };
         if slot_taken {
@@ -364,6 +381,7 @@ pub fn from_bytes(bytes: &[u8]) -> Result<FittedModel, ServeError> {
         shapes.ok_or_else(|| corrupt("missing shapes section"))?;
     let model = FittedModel {
         schema_version: schema,
+        method,
         config: config.ok_or_else(|| corrupt("missing config section"))?,
         sizes,
         cluster_counts,
@@ -489,6 +507,31 @@ mod tests {
             }
             other => panic!("expected SchemaVersion, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn method_provenance_round_trips_and_stays_optional() {
+        // Without provenance the bundle keeps the pre-provenance layout:
+        // six sections, no tag 7 — an old reader's contract.
+        let mut plain = tiny_fitted_model(77);
+        plain.method = None;
+        let plain_bytes = to_bytes(&plain).unwrap();
+        assert_eq!(
+            u32::from_le_bytes(plain_bytes[24..28].try_into().unwrap()),
+            6
+        );
+        assert!(from_bytes(&plain_bytes).unwrap().method.is_none());
+
+        // With provenance: one extra optional section, round-tripped.
+        let tagged = tiny_fitted_model(77).with_method("ensemble");
+        let tagged_bytes = to_bytes(&tagged).unwrap();
+        assert_eq!(
+            u32::from_le_bytes(tagged_bytes[24..28].try_into().unwrap()),
+            7
+        );
+        let back = from_bytes(&tagged_bytes).unwrap();
+        assert_eq!(back.method.as_deref(), Some("ensemble"));
+        assert_eq!(back.content_digest(), tagged.content_digest());
     }
 
     #[test]

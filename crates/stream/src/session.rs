@@ -173,6 +173,9 @@ pub struct SessionTelemetry {
     pub reseed_refits: usize,
     /// Warm refits on the plain (no-reseed) path.
     pub plain_warm_refits: usize,
+    /// Full consensus-ensemble refreshes
+    /// ([`StreamSession::refit_ensemble`]).
+    pub ensemble_refits: usize,
     /// Multiplicative-update iterations summed over all warm refits
     /// (each capped at [`RefreshPolicy::warm_iters`]).
     pub total_warm_iterations: usize,
@@ -181,9 +184,9 @@ pub struct SessionTelemetry {
 }
 
 impl SessionTelemetry {
-    /// Total refits, over all triggers.
+    /// Total refits, over all triggers (ensemble refreshes included).
     pub fn total_refits(&self) -> usize {
-        self.drift_refits + self.cadence_refits + self.manual_refits
+        self.drift_refits + self.cadence_refits + self.manual_refits + self.ensemble_refits
     }
 
     /// Batches whose drift trigger was suppressed by the cooldown.
@@ -420,6 +423,84 @@ impl StreamSession {
     /// Propagates refit errors.
     pub fn refit_now(&mut self) -> Result<RefitReport, StreamError> {
         self.refit(RefitTrigger::Manual)
+    }
+
+    /// Refresh the serving model with a **fresh consensus-ensemble fit**
+    /// over the accumulated corpus — the heavyweight alternative to the
+    /// warm mini-batch refresh for when drift has moved the stream far
+    /// enough that warm-starting a single basin is not trusted. Runs
+    /// `mtrl_ensemble::run_spec` on the current corpus (shared-artifact
+    /// member generation, sparse co-association, robust merge), then
+    /// hot-swaps the exported model exactly like [`Self::refit_now`]:
+    /// one validated assigner, shared with any attached engine via
+    /// `register_shared`, in-flight requests finishing on the old model.
+    ///
+    /// The refreshed model carries `method = "ensemble"` provenance, so
+    /// a gateway's `/v1/models` shows which registered models came from
+    /// an ensemble refresh.
+    ///
+    /// # Errors
+    /// Propagates ensemble fit, export and validation errors.
+    pub fn refit_ensemble(
+        &mut self,
+        spec: &rhchme::pipeline::EnsembleSpec,
+    ) -> Result<RefitReport, StreamError> {
+        let _span = mtrl_obs::span!("stream.refit_ensemble");
+        let cfg = self.rhchme.config().clone();
+        let params = rhchme::pipeline::PipelineParams {
+            lambda: cfg.lambda,
+            gamma: cfg.gamma,
+            alpha: cfg.alpha,
+            beta: cfg.beta,
+            p: cfg.p,
+            graph_backend: cfg.graph_backend,
+            precision: cfg.precision,
+            spg_max_iter: cfg.spg_max_iter,
+            max_iter: cfg.max_iter,
+            tol: cfg.tol,
+            seed: cfg.seed,
+            feature_cluster_divisor: cfg.feature_cluster_divisor,
+            export_model: true,
+            ..rhchme::pipeline::PipelineParams::default()
+        };
+        let out = mtrl_ensemble::run_spec(
+            &self.corpus,
+            &rhchme::pipeline::MethodSpec::Ensemble(spec.clone()),
+            &params,
+        )?;
+        let model = out.model.ok_or_else(|| {
+            StreamError::Invalid("ensemble run with export_model set returned no model".into())
+        })?;
+        self.assigner = Arc::new(Assigner::new(model)?);
+        let swapped = if let Some((engine, name)) = &self.engine {
+            engine.register_shared(name.clone(), Arc::clone(&self.assigner));
+            true
+        } else {
+            false
+        };
+        self.telemetry.ensemble_refits += 1;
+        if swapped {
+            self.telemetry.hot_swaps += 1;
+        }
+        if mtrl_obs::enabled() {
+            let reg = mtrl_obs::global();
+            reg.add("stream.refit.ensemble", 1);
+            reg.record_event(mtrl_obs::StreamEvent {
+                kind: "refit".to_string(),
+                label: "ensemble".to_string(),
+                value: out.iterations as f64,
+            });
+            if swapped {
+                reg.add("stream.hot_swap", 1);
+            }
+        }
+        self.batches_since_refit = 0;
+        Ok(RefitReport {
+            trigger: RefitTrigger::Manual,
+            iterations: out.iterations,
+            final_objective: *out.objective_trace.last().unwrap_or(&f64::NAN),
+            corpus_docs: self.corpus.num_docs(),
+        })
     }
 
     /// The warm mini-batch refresh (step 4 of the module docs).
@@ -708,6 +789,49 @@ mod tests {
         assert_eq!(tel.reseed_refits, 0);
         assert_eq!(tel.hot_swaps, 0, "no engine attached");
         assert!(tel.total_warm_iterations >= 2);
+    }
+
+    #[test]
+    fn ensemble_refresh_swaps_a_tagged_model() {
+        let (initial, batches) = generate_stream(&stream_cfg());
+        let mut session = StreamSession::new(
+            initial,
+            fast_rhchme(),
+            RefreshPolicy {
+                every_batches: None,
+                min_confidence: None,
+                ..RefreshPolicy::default()
+            },
+        )
+        .unwrap();
+        let engine = Arc::new(ServeEngine::new(2));
+        session.attach_engine(Arc::clone(&engine), "live").unwrap();
+        // The cold fit is a plain RHCHME export.
+        assert_eq!(session.model().method.as_deref(), Some("rhchme"));
+        session.push_batch(&batches[0]).unwrap();
+
+        let spec = rhchme::pipeline::EnsembleSpec::default().with_members(3);
+        let report = session.refit_ensemble(&spec).unwrap();
+        assert_eq!(report.iterations, 3, "one iteration per member");
+        assert!(report.final_objective.is_finite());
+        assert_eq!(report.corpus_docs, session.corpus().num_docs());
+        assert_eq!(session.batches_since_refit(), 0);
+        // The swapped model covers the grown corpus, carries ensemble
+        // provenance, and is live in the engine.
+        assert_eq!(session.model().sizes[0], session.corpus().num_docs());
+        assert_eq!(session.model().method.as_deref(), Some("ensemble"));
+        assert_eq!(
+            engine.model_methods(),
+            vec![("live".to_string(), Some("ensemble".to_string()))]
+        );
+        let tel = session.telemetry();
+        assert_eq!(tel.ensemble_refits, 1);
+        assert_eq!(tel.total_refits(), 1);
+        assert_eq!(tel.hot_swaps, 1);
+        // Serving still works against the refreshed model.
+        assert!(engine
+            .assign("live", 0, vec![SparseVec::from_dense(&[0.5; 120])])
+            .is_ok());
     }
 
     #[test]

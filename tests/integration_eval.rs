@@ -80,7 +80,7 @@ fn runner_is_deterministic_and_reports_round_trip() {
     let scenario = Scenario::new(
         CorpusShape::Tiny3,
         CorruptionSpec::relation_corruption(0.15),
-        EvalPath::ColdFit(Method::Snmtf),
+        EvalPath::cold_fit(Method::Snmtf),
     );
     let seeds = [mtrl_datagen::seed_from_env(5)];
     let a = run_scenario(&scenario, &seeds, &RunOptions::default()).unwrap();
@@ -106,7 +106,7 @@ fn gate_passes_identical_run_and_fails_synthetic_regression() {
     let scenario = Scenario::new(
         CorpusShape::Tiny3,
         CorruptionSpec::clean(),
-        EvalPath::ColdFit(Method::Src),
+        EvalPath::cold_fit(Method::Src),
     );
     let seeds = [
         mtrl_datagen::seed_from_env(7),

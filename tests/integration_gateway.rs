@@ -270,6 +270,9 @@ fn routing_errors_health_and_metrics() {
     let (status, _, resp) = http(addr, "GET", "/v1/models", None);
     assert_eq!(status, 200);
     assert!(resp.contains("late"), "{resp}");
+    // Registry entries carry method provenance (the fixture is an
+    // RHCHME export; ensemble exports report "ensemble" the same way).
+    assert!(resp.contains("\"method\":\"rhchme\""), "{resp}");
     let (status, _, resp) = http(addr, "POST", "/v1/models/late/assign", Some(&body));
     assert_eq!(status, 200, "{resp}");
 

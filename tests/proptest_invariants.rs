@@ -331,3 +331,79 @@ proptest! {
         }
     }
 }
+
+// ---------------------------------------------------------------------
+// Consensus-ensemble invariants: the sparse co-association structure is
+// a pure function of the partition *multiset* — bit-identical across
+// worker-thread counts (rows are built with the order-splicing
+// `par_chunks_map`) and across the order partitions were batched into
+// the builder.
+
+fn random_partitions(n: usize, m: usize, seed: u64) -> Vec<Vec<usize>> {
+    use rand::{Rng, SeedableRng};
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    (0..m)
+        .map(|_| {
+            let k = rng.gen_range(1..5usize);
+            (0..n).map(|_| rng.gen_range(0..k)).collect()
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn coassoc_bit_identical_across_thread_counts(
+        n in 2usize..48,
+        m in 1usize..6,
+        p in 1usize..8,
+        seed in any::<u64>()
+    ) {
+        let partitions = random_partitions(n, m, seed);
+        let mut builder = mtrl_ensemble::CoAssocBuilder::new(n);
+        for labels in &partitions {
+            builder.add_partition(labels);
+        }
+        // The global thread count is mutated here, but every kernel in
+        // the workspace promises thread-count-invariant bytes, so tests
+        // running concurrently in this binary cannot observe it.
+        let orig = mtrl_linalg::par::num_threads();
+        mtrl_linalg::par::set_num_threads(1);
+        let serial = builder.build(p);
+        for threads in 2..=4usize {
+            mtrl_linalg::par::set_num_threads(threads);
+            let par = builder.build(p);
+            mtrl_linalg::par::set_num_threads(orig);
+            prop_assert_eq!(&par, &serial, "thread count {}", threads);
+        }
+        mtrl_linalg::par::set_num_threads(orig);
+    }
+
+    #[test]
+    fn coassoc_invariant_to_partition_batching(
+        n in 2usize..48,
+        m in 2usize..6,
+        p in 1usize..8,
+        seed in any::<u64>()
+    ) {
+        use rand::{Rng, SeedableRng};
+        let partitions = random_partitions(n, m, seed);
+        let mut forward = mtrl_ensemble::CoAssocBuilder::new(n);
+        for labels in &partitions {
+            forward.add_partition(labels);
+        }
+        // Fisher–Yates over the batching order.
+        let mut order: Vec<usize> = (0..m).collect();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed ^ 0xBA7C);
+        for i in (1..m).rev() {
+            let j = rng.gen_range(0..=i);
+            order.swap(i, j);
+        }
+        let mut shuffled = mtrl_ensemble::CoAssocBuilder::new(n);
+        for &i in &order {
+            shuffled.add_partition(&partitions[i]);
+        }
+        prop_assert_eq!(forward.build(p), shuffled.build(p));
+    }
+}
